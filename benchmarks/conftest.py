@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its figure exactly once (`pedantic`, one round): the
+measured quantity is simulated execution time, which is deterministic, so
+statistical repetition would only re-run identical work.  The rendered
+table is printed (visible with ``-s`` or in captured output) and the
+aggregates land in ``benchmark.extra_info`` / the JSON report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a figure function under pytest-benchmark and report it."""
+
+    def _run(fig_fn, *args, **kwargs):
+        result = benchmark.pedantic(fig_fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        benchmark.extra_info.update(result.summary()
+                                    if result.rows else result.extra)
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,19 @@
+"""Fig. 9: fused GEMV + AllReduce (scale-up, zero-copy).
+
+Paper: on average 13% (up to 22%) lower execution time; the benefit shrinks
+for the largest output vectors (M = 64k) as fabric-link contention grows
+and the GEMV dominates.
+"""
+
+from repro.bench import fig9_gemv_allreduce
+
+
+def test_fig09_gemv_allreduce(run_figure):
+    res = run_figure(fig9_gemv_allreduce)
+    assert all(r.normalized < 1.0 for r in res.rows)
+    assert 0.75 < res.mean_normalized < 0.95
+    # Crossover shape: 64k configs benefit least.
+    small = [r.normalized for r in res.rows if r.label.startswith("8k")]
+    large = [r.normalized for r in res.rows if r.label.startswith("64k")]
+    assert min(small) < min(large)
+    assert max(small) < max(large)

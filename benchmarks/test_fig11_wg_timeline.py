@@ -1,0 +1,21 @@
+"""Fig. 11: profiled persistent-WG timeline (inter-node fused kernel).
+
+Paper: non-blocking remote PUTs are issued while other WGs compute (fine-
+grain overlap), mostly by the last WG of each 16-WG slice cluster, and the
+remote slices are computed before the locally consumed ones.
+"""
+
+from repro.bench import fig11_wg_timeline
+
+
+def test_fig11_wg_timeline(run_figure):
+    res = run_figure(fig11_wg_timeline)
+    assert res.extra["puts_issued_node0"] > 0
+    # Puts start early in the kernel (comm-aware scheduling) and keep being
+    # issued mid-kernel, not at the boundary.
+    first = float(res.extra["first_put_at"].split("%")[0])
+    last = float(res.extra["last_put_at"].split("%")[0])
+    assert first < 30.0
+    assert last < 100.0
+    assert "#" in res.extra["timeline"]
+    assert "P" in res.extra["timeline"]

@@ -1,0 +1,18 @@
+"""Fig. 12: inter-node fused embedding + All-to-All (2 nodes over IB).
+
+Paper: 31% average (up to 58%) lower execution time; the smallest global
+batches benefit most because per-table baseline kernels leave the GPU
+underutilized while the fused kernel processes all tables in one kernel.
+"""
+
+from repro.bench import fig12_embedding_a2a_internode
+
+
+def test_fig12_embedding_a2a_internode(run_figure):
+    res = run_figure(fig12_embedding_a2a_internode)
+    assert all(r.normalized < 1.0 for r in res.rows)
+    assert 0.4 < res.mean_normalized < 0.8
+    # Smallest batch gets the biggest win (the paper's >full-overlap effect).
+    by_batch = {r.label: r.normalized for r in res.rows}
+    assert by_batch["256|256"] < by_batch["4096|256"]
+    assert res.best_normalized < 0.55

@@ -1,0 +1,20 @@
+"""Fig. 13: impact of WG occupancy on fused-kernel execution time.
+
+Paper: raising occupancy from 25% to 75% (of the baseline kernel's) cuts
+execution time by 46%; pushing on to the fused kernel's 87.5% maximum
+*increases* time by 25% — memory contention outweighing parallelism.
+"""
+
+from repro.bench import fig13_occupancy_sweep
+
+
+def test_fig13_occupancy(run_figure):
+    res = run_figure(fig13_occupancy_sweep)
+    t = {r.label: r.fused_time for r in res.rows}
+    # U-shape: improves to 75%, degrades at 87.5%.
+    assert t["75.0%"] < t["25.0%"]
+    assert t["87.5%"] > t["75.0%"]
+    reduction = 1 - t["75.0%"] / t["25.0%"]
+    increase = t["87.5%"] / t["75.0%"] - 1
+    assert 0.30 < reduction < 0.55   # paper: 46%
+    assert 0.10 < increase < 0.35    # paper: 25%

@@ -1,0 +1,18 @@
+"""Fig. 14: communication-aware vs oblivious WG scheduling.
+
+Paper: oblivious scheduling leaves ~7% average completion skew between the
+two nodes (node 0 computes its local slices first, delaying node 1's
+epilogue); communication-aware scheduling reduces the skew to ~1%.
+"""
+
+from repro.bench import fig14_scheduling_skew
+
+
+def test_fig14_sched_skew(run_figure):
+    res = run_figure(fig14_scheduling_skew)
+    skews = res.extra["skews"]
+    avg_aware = sum(skews["comm_aware"]) / len(skews["comm_aware"])
+    avg_obliv = sum(skews["oblivious"]) / len(skews["oblivious"])
+    assert avg_aware < avg_obliv
+    assert avg_aware < 0.04          # paper: ~1%
+    assert avg_obliv > 2 * avg_aware  # paper: ~6 points apart

@@ -1,0 +1,11 @@
+"""Table II: scale-out simulation parameters."""
+
+from repro.bench import table2_setup
+
+
+def test_table2_simsetup(run_figure):
+    res = run_figure(table2_setup)
+    assert res.extra["Embedding dimension"] == 92
+    assert res.extra["Avg pooling size"] == 70
+    assert "200 Gb/s" in res.extra["Topology"]
+    assert "700 ns" in res.extra["Topology"]

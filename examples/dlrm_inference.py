@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""DLRM forward pass: single-device reference vs distributed fused pipeline.
+
+Builds a complete DLRM (bottom MLP, embedding tables, interaction, top MLP),
+runs it on one device as ground truth, then executes the embedding +
+All-to-All stage across a simulated 4-GPU node with the fused operator and
+plugs its output into interaction + top MLP — demonstrating that the fused
+operator's output layout ``{local batch, num_tables x dim}`` feeds the
+interaction operator directly, as the paper describes.
+
+Run:  python examples/dlrm_inference.py
+"""
+
+import numpy as np
+
+from repro.fused import EmbeddingA2AConfig, FusedEmbeddingAllToAll, OpHarness
+from repro.models import Dlrm, categorical_indices, dense_features
+from repro.ops import interaction, sigmoid
+
+WORLD = 4
+TABLES_PER_GPU = 4
+NUM_TABLES = WORLD * TABLES_PER_GPU
+DIM = 16
+POOLING = 6
+ROWS = 100
+BATCH = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    model = Dlrm.create(dense_dim=13, embedding_dim=DIM,
+                        num_tables=NUM_TABLES, rows_per_table=ROWS,
+                        bottom_sizes=[64], top_sizes=[64, 32], rng=rng)
+    dense = dense_features(BATCH, 13, seed=1)
+    indices = categorical_indices(BATCH, NUM_TABLES, POOLING, ROWS, seed=2)
+
+    # -- ground truth on one device ------------------------------------------
+    reference = model(dense, indices)
+    print(f"single-device DLRM forward: batch={BATCH}, "
+          f"{NUM_TABLES} tables, dim={DIM}")
+
+    # -- distributed embedding + All-to-All stage ----------------------------
+    # Tables are model-parallel: GPU r owns tables [r*T, (r+1)*T).
+    cfg = EmbeddingA2AConfig(global_batch=BATCH,
+                             tables_per_gpu=TABLES_PER_GPU, dim=DIM,
+                             pooling=POOLING, rows_per_table=ROWS,
+                             slice_vectors=8, functional=True)
+    harness = OpHarness(num_nodes=1, gpus_per_node=WORLD)
+    op = FusedEmbeddingAllToAll(harness, cfg)
+    # Install the model's real tables and inputs in place of the random ones.
+    for r in range(WORLD):
+        for t in range(TABLES_PER_GPU):
+            op.tables[r][t] = model.tables[r * TABLES_PER_GPU + t]
+            op.indices[r][t] = indices[r * TABLES_PER_GPU + t]
+    result = harness.run(op)
+    print(f"fused embedding+A2A across {WORLD} GPUs: "
+          f"{result.elapsed * 1e6:.1f} us simulated")
+
+    # -- data-parallel interaction + top MLP on each rank's batch shard ----------
+    local = BATCH // WORLD
+    bottom_out = model.bottom_mlp(dense)
+    predictions = np.empty(BATCH, np.float32)
+    for rank in range(WORLD):
+        shard = slice(rank * local, (rank + 1) * local)
+        pooled = result.outputs[rank]            # (local, num_tables, dim)
+        feats = interaction(bottom_out[shard], pooled)
+        predictions[shard] = sigmoid(model.top_mlp(feats)[:, 0])
+
+    np.testing.assert_allclose(predictions, reference, rtol=1e-4, atol=1e-6)
+    print("distributed predictions == single-device reference (verified)")
+    print(f"sample predictions: {np.round(predictions[:5], 4)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Mixture-of-Experts layer with the fused GEMM + All-to-All combine.
+
+Top-2 gating routes tokens to 4 expert GPUs; after the expert GEMMs, the
+combine All-to-All returns outputs to the tokens' source ranks — the
+collective the paper fuses using its Triton communication extension.  This
+example shows the gating statistics, verifies the expert-parallel dataflow,
+and times the Triton-written fused operator against the baseline.
+
+Run:  python examples/moe_layer.py
+"""
+
+import numpy as np
+
+from repro.frameworks.minitorch import gemm_all_to_all_op
+from repro.fused import GemmA2AConfig
+from repro.models import MoeLayer, MoeLayerConfig, token_batch
+
+
+def main() -> None:
+    cfg = MoeLayerConfig(tokens=256, model_dim=64, ffn_dim=96,
+                         num_experts=4, top_k=2)
+    layer = MoeLayer.create(cfg, rng=np.random.default_rng(3))
+    x, _pos = token_batch(cfg.tokens, cfg.model_dim, seed=4)
+
+    counts = layer.dispatch_counts(x)
+    print(f"MoE layer: {cfg.num_experts} experts, top-{cfg.top_k} routing")
+    print(f"  dispatch counts per expert: {counts.tolist()} "
+          f"(total = tokens x top_k = {cfg.tokens * cfg.top_k})")
+    out = layer(x)
+    print(f"  functional forward: {x.shape} -> {out.shape}")
+
+    # -- fused combine GEMM + All-to-All (small, functional) ---------------------
+    small = layer.gemm_config(tokens_per_expert=512, functional=True)
+    small = GemmA2AConfig(tokens=512, model_dim=64, ffn_dim=128,
+                          block_m=64, block_n=128, functional=True)
+    outs_fused, t_fused = gemm_all_to_all_op(small)
+    outs_base, t_base = gemm_all_to_all_op(small, fused=False)
+    np.testing.assert_allclose(outs_fused[0].numpy(), outs_base[0].numpy(),
+                               rtol=1e-4)
+    print("  fused GEMM+A2A output == baseline output (verified)")
+
+    # -- paper-scale MoE shapes, timing only ------------------------------------
+    print("\nMoE combine timing (4 GPUs, fp16), normalized to baseline:")
+    print(f"{'tokens|model|ffn':>18}  {'fused':>9}  {'baseline':>9}  "
+          f"{'norm':>6}")
+    for tokens, ffn in ((2048, 8192), (4096, 8192), (4096, 14336)):
+        cfg_t = GemmA2AConfig(tokens=tokens, model_dim=4096, ffn_dim=ffn,
+                              functional=False)
+        _, tf = gemm_all_to_all_op(cfg_t)
+        _, tb = gemm_all_to_all_op(cfg_t, fused=False)
+        print(f"{cfg_t.label:>18}  {tf * 1e3:>7.2f}ms  {tb * 1e3:>7.2f}ms"
+              f"  {tf / tb:>6.3f}")
+    print("paper Fig. 10: average 0.88, down to 0.80 (GEMM-dominated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: fuse an embedding + All-to-All and beat the baseline.
+
+Runs the paper's flagship operator two ways on a simulated 2-node system —
+as separate pooling kernels + an RCCL-like All-to-All (baseline), and as
+one persistent fused kernel with GPU-initiated communication — verifies the
+outputs are numerically identical, and reports the speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.fused import (
+    BaselineEmbeddingAllToAll,
+    EmbeddingA2AConfig,
+    FusedEmbeddingAllToAll,
+    OpHarness,
+)
+
+
+def main() -> None:
+    # A small functional configuration: 2 nodes x 1 GPU, 8 tables per GPU.
+    cfg = EmbeddingA2AConfig(
+        global_batch=128,
+        tables_per_gpu=8,
+        dim=32,
+        pooling=10,
+        rows_per_table=200,
+        slice_vectors=16,
+        functional=True,       # carry real tensors so we can verify
+    )
+
+    print("fused embedding + All-to-All (paper Section III-A)")
+    print(f"  config: batch={cfg.global_batch}, tables/GPU="
+          f"{cfg.tables_per_gpu}, dim={cfg.dim}, 2 nodes over InfiniBand")
+
+    # Each run gets a fresh simulated cluster (clock starts at zero).
+    fused_h = OpHarness(num_nodes=2, gpus_per_node=1)
+    fused = fused_h.run(FusedEmbeddingAllToAll(fused_h, cfg))
+
+    base_h = OpHarness(num_nodes=2, gpus_per_node=1)
+    base = base_h.run(BaselineEmbeddingAllToAll(base_h, cfg))
+
+    # Outputs: per-rank (local_batch, world*tables, dim) A2A results.
+    for rank in range(2):
+        np.testing.assert_allclose(fused.outputs[rank], base.outputs[rank],
+                                   rtol=1e-5)
+    print("  outputs: fused == baseline (verified)")
+
+    print(f"  baseline: {base.elapsed * 1e6:9.1f} us "
+          f"(pooling kernels, then All-to-All)")
+    print(f"  fused:    {fused.elapsed * 1e6:9.1f} us "
+          f"(single persistent kernel, overlapped)")
+    print(f"  normalized execution time: "
+          f"{fused.elapsed / base.elapsed:.3f} "
+          f"({100 * (1 - fused.elapsed / base.elapsed):.1f}% faster)")
+
+    # At paper scale the gap widens — rerun timing-only.
+    big = EmbeddingA2AConfig(global_batch=1024, tables_per_gpu=256,
+                             functional=False)
+    fh = OpHarness(num_nodes=2, gpus_per_node=1)
+    f = fh.run(FusedEmbeddingAllToAll(fh, big))
+    bh = OpHarness(num_nodes=2, gpus_per_node=1)
+    b = bh.run(BaselineEmbeddingAllToAll(bh, big))
+    print(f"  at paper scale (1024|256): normalized "
+          f"{f.elapsed / b.elapsed:.3f}  (paper Fig. 12 average: 0.69)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Transformer decode step with the fused GEMV + AllReduce operator.
+
+Tensor-parallel feed-forward block (Megatron-style, paper Fig. 3): the
+second linear layer's partial outputs are summed with an AllReduce that the
+paper reports taking up to 46% of decode latency.  This example checks the
+sharded block against the unsharded math, then times the fused operator
+against the bulk-synchronous baseline on transformer-scale shapes via the
+framework operator API (``torch.gemvAllReduceOp()``-style).
+
+Run:  python examples/transformer_decode.py
+"""
+
+import numpy as np
+
+from repro.frameworks.minitorch import gemv_all_reduce_op
+from repro.fused import GemvAllReduceConfig
+from repro.models import TensorParallelMlp, TransformerMlpConfig, dense_features
+
+
+def main() -> None:
+    # -- functional check of the tensor-parallel block ----------------------
+    cfg = TransformerMlpConfig(hidden=128, ffn_multiplier=4,
+                               tensor_parallel=4)
+    mlp = TensorParallelMlp.create(cfg, rng=np.random.default_rng(7))
+    x = dense_features(1, cfg.hidden, seed=8)  # one decode token
+    full_w0 = np.concatenate(mlp.w0_shards, axis=1)
+    full_w1 = np.concatenate(mlp.w1_shards, axis=0)
+    from repro.ops import gelu
+
+    reference = gelu(x @ full_w0) @ full_w1
+    np.testing.assert_allclose(mlp(x), reference, rtol=1e-4, atol=1e-5)
+    print(f"tensor-parallel MLP ({cfg.tensor_parallel} ranks) == unsharded "
+          f"reference (verified)")
+
+    # -- fused GEMV + AllReduce, small functional run --------------------------
+    small = GemvAllReduceConfig(m=256, n_per_gpu=64)
+    outs_fused, t_fused = gemv_all_reduce_op(small)
+    outs_base, t_base = gemv_all_reduce_op(small, fused=False)
+    np.testing.assert_allclose(outs_fused[0].numpy(), outs_base[0].numpy(),
+                               rtol=1e-4)
+    print("fused GEMV+AllReduce output == baseline output (verified)")
+
+    # -- paper-scale decode shapes, timing only ------------------------------
+    print("\ndecode-phase timing (4 GPUs, fp16), normalized to baseline:")
+    print(f"{'M | N_total':>14}  {'fused':>10}  {'baseline':>10}  {'norm':>6}")
+    for m in (8192, 16384, 32768, 65536):
+        n_total = 16384
+        cfg_t = GemvAllReduceConfig(m=m, n_per_gpu=n_total // 4,
+                                    functional=False)
+        _, tf = gemv_all_reduce_op(cfg_t)
+        _, tb = gemv_all_reduce_op(cfg_t, fused=False)
+        print(f"{cfg_t.label:>14}  {tf * 1e6:>8.1f}us  {tb * 1e6:>8.1f}us"
+              f"  {tf / tb:>6.3f}")
+    print("paper Fig. 9: average 0.87, down to 0.78; least benefit at 64k")
+
+
+if __name__ == "__main__":
+    main()

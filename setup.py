@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments here lack the ``wheel`` package, which PEP-517 editable
+installs need; this shim keeps ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on full toolchains)
+working.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""ASTRA-Sim-style scale-out training simulator (paper Fig. 15)."""
+
+from .graph import ExecutionGraph, GraphNode
+from .network import TorusNetwork
+from .runner import ScaleOutResult, run_dlrm_scaleout, sweep_node_counts
+from .workloads import DlrmIterationTimes, build_dlrm_graph, compute_kernel_times
+
+__all__ = [
+    "DlrmIterationTimes",
+    "ExecutionGraph",
+    "GraphNode",
+    "ScaleOutResult",
+    "TorusNetwork",
+    "build_dlrm_graph",
+    "compute_kernel_times",
+    "run_dlrm_scaleout",
+    "sweep_node_counts",
+]

@@ -1,0 +1,31 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .figures import (
+    fig8_embedding_a2a_intranode,
+    fig9_gemv_allreduce,
+    fig10_gemm_a2a,
+    fig11_wg_timeline,
+    fig12_embedding_a2a_internode,
+    fig13_occupancy_sweep,
+    fig14_scheduling_skew,
+    fig15_scaleout,
+    table1_setup,
+    table2_setup,
+)
+from .harness import FigureResult, Row, compare
+
+__all__ = [
+    "FigureResult",
+    "Row",
+    "compare",
+    "fig8_embedding_a2a_intranode",
+    "fig9_gemv_allreduce",
+    "fig10_gemm_a2a",
+    "fig11_wg_timeline",
+    "fig12_embedding_a2a_internode",
+    "fig13_occupancy_sweep",
+    "fig14_scheduling_skew",
+    "fig15_scaleout",
+    "table1_setup",
+    "table2_setup",
+]

@@ -1,0 +1,30 @@
+"""Communication substrate: symmetric heap, SHMEM API, collectives."""
+
+from .algorithms import (
+    allgather_time,
+    alltoall_time,
+    direct_allreduce_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+    ring_schedule,
+)
+from .collectives import CollectiveLibrary
+from .runtime import Communicator
+from .shmem import FlagArray, ShmemContext
+from .symheap import HeapError, SymmetricBuffer, SymmetricHeap
+
+__all__ = [
+    "CollectiveLibrary",
+    "Communicator",
+    "FlagArray",
+    "HeapError",
+    "ShmemContext",
+    "SymmetricBuffer",
+    "SymmetricHeap",
+    "allgather_time",
+    "alltoall_time",
+    "direct_allreduce_time",
+    "reduce_scatter_time",
+    "ring_allreduce_time",
+    "ring_schedule",
+]

@@ -1,0 +1,105 @@
+"""Analytic collective cost models and step schedules.
+
+Shared between the executable baseline library (:mod:`repro.comm.collectives`)
+and the scale-out execution-graph simulator (:mod:`repro.astra`).  The forms
+are the standard alpha-beta models:
+
+* ring AllReduce:      ``2 (p-1) * (n/(p*B) + L)``
+* direct two-phase AllReduce (fully connected): ``2 * (n*(p-1)/(p*B) + L)``
+* pairwise All-to-All: each rank sends ``(p-1)`` chunks of ``n/p``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "ring_allreduce_time",
+    "direct_allreduce_time",
+    "alltoall_time",
+    "allgather_time",
+    "reduce_scatter_time",
+    "ring_schedule",
+]
+
+
+def _check(nbytes: float, world: int, bandwidth: float) -> None:
+    if nbytes < 0:
+        raise ValueError(f"negative payload {nbytes}")
+    if world < 1:
+        raise ValueError(f"world size must be >= 1, got {world}")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+
+
+def ring_allreduce_time(nbytes: float, world: int, bandwidth: float,
+                        latency: float = 0.0) -> float:
+    """Ring AllReduce of an ``nbytes`` buffer: 2(p-1) steps of n/p."""
+    _check(nbytes, world, bandwidth)
+    if world == 1:
+        return 0.0
+    chunk = nbytes / world
+    steps = 2 * (world - 1)
+    return steps * (chunk / bandwidth + latency)
+
+
+def direct_allreduce_time(nbytes: float, world: int, bandwidth: float,
+                          latency: float = 0.0) -> float:
+    """Two-phase direct AllReduce on a fully-connected topology.
+
+    Reduce-scatter: every rank simultaneously sends (p-1) chunks of n/p out
+    of distinct links -> time n*(p-1)/(p*B).  All-gather mirrors it.
+    """
+    _check(nbytes, world, bandwidth)
+    if world == 1:
+        return 0.0
+    phase = nbytes * (world - 1) / (world * bandwidth) + latency
+    return 2 * phase
+
+
+def alltoall_time(nbytes_per_rank: float, world: int, bandwidth: float,
+                  latency: float = 0.0, links_per_rank: int = 1) -> float:
+    """Pairwise All-to-All: each rank exchanges n/p with every peer.
+
+    ``nbytes_per_rank`` is the total send-buffer size per rank;
+    ``links_per_rank`` models how many independent ports can stream
+    concurrently (fully-connected fabric: p-1; single NIC: 1).
+    """
+    _check(nbytes_per_rank, world, bandwidth)
+    if links_per_rank < 1:
+        raise ValueError("links_per_rank must be >= 1")
+    if world == 1:
+        return 0.0
+    chunk = nbytes_per_rank / world
+    sends = world - 1
+    rounds = -(-sends // links_per_rank)  # ceil
+    return rounds * (chunk / bandwidth) + latency
+
+
+def allgather_time(nbytes_chunk: float, world: int, bandwidth: float,
+                   latency: float = 0.0) -> float:
+    """Ring AllGather of per-rank chunks of ``nbytes_chunk``."""
+    _check(nbytes_chunk, world, bandwidth)
+    if world == 1:
+        return 0.0
+    return (world - 1) * (nbytes_chunk / bandwidth + latency)
+
+
+def reduce_scatter_time(nbytes: float, world: int, bandwidth: float,
+                        latency: float = 0.0) -> float:
+    """Ring ReduceScatter of an ``nbytes`` buffer."""
+    _check(nbytes, world, bandwidth)
+    if world == 1:
+        return 0.0
+    chunk = nbytes / world
+    return (world - 1) * (chunk / bandwidth + latency)
+
+
+def ring_schedule(world: int) -> List[List[Tuple[int, int]]]:
+    """Step schedule for a ring: step s has sends (r -> (r+1) % p)."""
+    if world < 1:
+        raise ValueError("world size must be >= 1")
+    if world == 1:
+        return []
+    return [[(r, (r + 1) % world) for r in range(world)]
+            for _ in range(world - 1)]

@@ -1,0 +1,64 @@
+"""Communicator: glues cluster, symmetric heap, SHMEM contexts, collectives.
+
+One :class:`Communicator` per experiment.  It owns the symmetric heap (one
+allocation space mirrored on every rank), a :class:`ShmemContext` per rank
+for GPU-initiated communication, and a baseline
+:class:`~repro.comm.collectives.CollectiveLibrary`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hw.topology import Cluster
+from .collectives import CollectiveLibrary
+from .shmem import FlagArray, ShmemContext
+from .symheap import SymmetricBuffer, SymmetricHeap
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """Communication runtime for a cluster."""
+
+    def __init__(self, cluster: Cluster, heap_capacity: int = 1 << 34,
+                 cpu_proxy: bool = False):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.heap = SymmetricHeap(cluster.world_size, capacity=heap_capacity)
+        self.ctxs: List[ShmemContext] = [
+            ShmemContext(self.sim, cluster, r, cpu_proxy=cpu_proxy)
+            for r in range(cluster.world_size)
+        ]
+        self.collectives = CollectiveLibrary(cluster)
+        self._barrier_count = 0
+        self._barrier_event = None
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    def ctx(self, rank: int) -> ShmemContext:
+        return self.ctxs[rank]
+
+    def alloc(self, shape, dtype=np.float32) -> SymmetricBuffer:
+        """``roc_shmem_malloc``: symmetric allocation on every rank."""
+        return self.heap.alloc(shape, dtype)
+
+    def alloc_flags(self, n_flags: int, name: str = "flags") -> FlagArray:
+        """Symmetric flag array (allocated on the heap for accounting)."""
+        self.heap.alloc((n_flags,), np.int64)  # reserve heap space
+        return FlagArray(self.sim, self.world_size, n_flags, name=name)
+
+    def barrier(self):
+        """Counting barrier: event fires when all ranks have arrived."""
+        if self._barrier_event is None or self._barrier_event.triggered:
+            self._barrier_event = self.sim.event()
+            self._barrier_count = 0
+        self._barrier_count += 1
+        ev = self._barrier_event
+        if self._barrier_count == self.world_size:
+            ev.succeed()
+        return ev

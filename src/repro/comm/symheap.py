@@ -1,0 +1,149 @@
+"""Symmetric heap: identical allocations across all ranks (ROC_SHMEM-style).
+
+A :class:`SymmetricHeap` mirrors ``roc_shmem_malloc``: every allocation
+exists at the *same offset on every rank*, is registered for remote access
+(NIC/fabric can target it directly), and is backed here by one NumPy array
+per rank so the simulated kernels are functionally exact.
+
+The allocator is a first-fit free-list bump allocator with coalescing —
+enough to enforce the capacity limits and catch double-free bugs in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["SymmetricHeap", "SymmetricBuffer", "HeapError"]
+
+
+class HeapError(RuntimeError):
+    """Allocation failure or misuse of the symmetric heap."""
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+
+
+class SymmetricBuffer:
+    """One symmetric allocation: the same shape/dtype on every rank."""
+
+    def __init__(self, heap: "SymmetricHeap", offset: int, shape: Tuple[int, ...],
+                 dtype: np.dtype, arrays: List[np.ndarray]):
+        self.heap = heap
+        self.offset = offset
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._arrays = arrays
+        self._freed = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def world_size(self) -> int:
+        return len(self._arrays)
+
+    def local(self, rank: int) -> np.ndarray:
+        """The backing array on ``rank`` (writable view)."""
+        if self._freed:
+            raise HeapError("use of freed symmetric buffer")
+        return self._arrays[rank]
+
+    def fill(self, value) -> None:
+        """Fill every rank's copy (test/setup convenience)."""
+        for a in self._arrays:
+            a[...] = value
+
+    def free(self) -> None:
+        self.heap.free(self)
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else "live"
+        return (f"<SymmetricBuffer off={self.offset} shape={self.shape} "
+                f"dtype={self.dtype.name} {state}>")
+
+
+class SymmetricHeap:
+    """Per-cluster symmetric heap with a fixed per-rank capacity."""
+
+    def __init__(self, world_size: int, capacity: int = 1 << 32,
+                 alignment: int = 256):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if alignment < 1 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a power of two")
+        self.world_size = world_size
+        self.capacity = int(capacity)
+        self.alignment = alignment
+        self._free: List[_Block] = [_Block(0, self.capacity)]
+        self._live: Dict[int, SymmetricBuffer] = {}
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, shape, dtype=np.float32) -> SymmetricBuffer:
+        """Allocate ``shape``/``dtype`` on every rank at a common offset."""
+        shape = (shape,) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in shape {shape}")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        size = max(self._align(nbytes), self.alignment)
+        offset = self._take(size)
+        arrays = [np.zeros(shape, dtype=dtype) for _ in range(self.world_size)]
+        buf = SymmetricBuffer(self, offset, shape, dtype, arrays)
+        self._live[offset] = buf
+        return buf
+
+    def free(self, buf: SymmetricBuffer) -> None:
+        if buf._freed:
+            raise HeapError("double free of symmetric buffer")
+        if self._live.pop(buf.offset, None) is not buf:
+            raise HeapError("buffer does not belong to this heap")
+        buf._freed = True
+        self._release(buf.offset, max(self._align(buf.nbytes), self.alignment))
+
+    # -- accounting -----------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return self.capacity - sum(b.size for b in self._free)
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._live)
+
+    # -- internals ----------------------------------------------------------
+    def _align(self, n: int) -> int:
+        a = self.alignment
+        return (n + a - 1) // a * a
+
+    def _take(self, size: int) -> int:
+        for i, blk in enumerate(self._free):
+            if blk.size >= size:
+                offset = blk.offset
+                if blk.size == size:
+                    self._free.pop(i)
+                else:
+                    blk.offset += size
+                    blk.size -= size
+                return offset
+        raise HeapError(
+            f"symmetric heap exhausted: need {size} bytes, "
+            f"largest free block {max((b.size for b in self._free), default=0)}")
+
+    def _release(self, offset: int, size: int) -> None:
+        self._free.append(_Block(offset, size))
+        self._free.sort(key=lambda b: b.offset)
+        merged: List[_Block] = []
+        for blk in self._free:
+            if merged and merged[-1].offset + merged[-1].size == blk.offset:
+                merged[-1].size += blk.size
+            else:
+                merged.append(blk)
+        self._free = merged

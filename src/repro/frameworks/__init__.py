@@ -1,0 +1,19 @@
+"""ML-framework integration layers.
+
+Submodules (imported on demand to avoid import cycles with the fused
+operators they wrap):
+
+* :mod:`repro.frameworks.minitorch` — PyTorch-like tensor/operator surface.
+* :mod:`repro.frameworks.triton` — mini-Triton tile language with the
+  communication extension.
+"""
+
+__all__ = ["minitorch", "triton"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,26 @@
+"""minitorch: the PyTorch-integration surface for the fused operators."""
+
+from .ops import (
+    OPS,
+    embedding_all_to_all_op,
+    gemm_all_to_all_op,
+    gemv_all_reduce_op,
+    get_op,
+    register_op,
+)
+from .symmetric import SymmetricTensor, to_symmetric
+from .tensor import Device, Tensor, tensor
+
+__all__ = [
+    "Device",
+    "OPS",
+    "SymmetricTensor",
+    "Tensor",
+    "embedding_all_to_all_op",
+    "gemm_all_to_all_op",
+    "gemv_all_reduce_op",
+    "get_op",
+    "register_op",
+    "tensor",
+    "to_symmetric",
+]

@@ -1,0 +1,101 @@
+"""Registered fused operators (the paper's second PyTorch addition).
+
+The paper exposes each fused kernel "as a new operator within PyTorch to be
+transparently used by developers" — e.g. ``torch.embeddingAll2AllOp()``.
+This module provides that operator registry: named entry points that hide
+the persistent-kernel + GPU-initiated-communication machinery behind a
+one-call API returning output tensors and the simulated execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ...fused.base import OpHarness
+from ...fused.embedding_alltoall import (
+    BaselineEmbeddingAllToAll,
+    EmbeddingA2AConfig,
+    FusedEmbeddingAllToAll,
+)
+from ...fused.gemm_alltoall import (
+    BaselineGemmAllToAll,
+    FusedGemmAllToAll,
+    GemmA2AConfig,
+)
+from ...fused.gemv_allreduce import (
+    BaselineGemvAllReduce,
+    FusedGemvAllReduce,
+    GemvAllReduceConfig,
+)
+from .tensor import Tensor
+
+__all__ = ["OPS", "register_op", "get_op", "embedding_all_to_all_op",
+           "gemv_all_reduce_op", "gemm_all_to_all_op"]
+
+OPS: Dict[str, Callable] = {}
+
+
+def register_op(name: str):
+    """Register a fused operator under a torch-style name."""
+
+    def deco(fn):
+        if name in OPS:
+            raise ValueError(f"operator {name!r} already registered")
+        OPS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_op(name: str) -> Callable:
+    try:
+        return OPS[name]
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}; registered: "
+                       f"{sorted(OPS)}") from None
+
+
+def _wrap_outputs(outputs) -> List[Tensor]:
+    return [Tensor(np.asarray(o), f"gpu:{r}")
+            for r, o in enumerate(outputs)]
+
+
+@register_op("embeddingAll2AllOp")
+def embedding_all_to_all_op(cfg: EmbeddingA2AConfig, *, num_nodes: int = 1,
+                            gpus_per_node: int = 4,
+                            fused: bool = True) -> Tuple[List[Tensor], float]:
+    """Fused embedding pooling + All-to-All as a framework operator.
+
+    Returns ``(per-rank output tensors, simulated seconds)``.
+    ``fused=False`` runs the bulk-synchronous baseline instead (for
+    drop-in comparisons).
+    """
+    harness = OpHarness(num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+    op_cls = FusedEmbeddingAllToAll if fused else BaselineEmbeddingAllToAll
+    result = harness.run(op_cls(harness, cfg))
+    outs = _wrap_outputs(result.outputs) if result.outputs else []
+    return outs, result.elapsed
+
+
+@register_op("gemvAllReduceOp")
+def gemv_all_reduce_op(cfg: GemvAllReduceConfig, *, gpus_per_node: int = 4,
+                       fused: bool = True) -> Tuple[List[Tensor], float]:
+    """Fused GEMV + AllReduce as a framework operator (scale-up only)."""
+    harness = OpHarness(num_nodes=1, gpus_per_node=gpus_per_node)
+    op_cls = FusedGemvAllReduce if fused else BaselineGemvAllReduce
+    result = harness.run(op_cls(harness, cfg))
+    outs = _wrap_outputs(result.outputs) if result.outputs else []
+    return outs, result.elapsed
+
+
+@register_op("gemmAll2AllOp")
+def gemm_all_to_all_op(cfg: GemmA2AConfig, *, gpus_per_node: int = 4,
+                       fused: bool = True) -> Tuple[List[Tensor], float]:
+    """Fused GEMM + All-to-All (Triton extension) as a framework operator."""
+    harness = OpHarness(num_nodes=1, gpus_per_node=gpus_per_node)
+    op_cls = FusedGemmAllToAll if fused else BaselineGemmAllToAll
+    result = harness.run(op_cls(harness, cfg))
+    outs = _wrap_outputs(result.outputs) if result.outputs else []
+    return outs, result.elapsed

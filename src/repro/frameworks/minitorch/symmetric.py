@@ -1,0 +1,68 @@
+"""Symmetric-heap tensor API (the paper's first PyTorch addition).
+
+``to_symmetric`` mirrors the paper's "new API for allocating device memory
+in the symmetric heap and moving a tensor from the CPU's host memory to the
+allocated device memory (similar to the existing ``torch.tensor.to()``
+API)".  The returned :class:`SymmetricTensor` is NIC/fabric-registered by
+construction (it lives on the communicator's symmetric heap), so fused
+operators can target it with GPU-initiated puts.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ...comm.runtime import Communicator
+from ...comm.symheap import SymmetricBuffer
+from .tensor import Device, Tensor
+
+__all__ = ["SymmetricTensor", "to_symmetric"]
+
+
+class SymmetricTensor:
+    """A tensor allocated at the same offset on every rank."""
+
+    def __init__(self, buf: SymmetricBuffer, comm: Communicator):
+        self.buf = buf
+        self.comm = comm
+
+    @property
+    def shape(self):
+        return self.buf.shape
+
+    @property
+    def dtype(self):
+        return self.buf.dtype
+
+    @property
+    def world_size(self) -> int:
+        return self.buf.world_size
+
+    def on(self, rank: int) -> Tensor:
+        """This allocation's instance on ``rank`` (shared storage)."""
+        return Tensor(self.buf.local(rank), Device("gpu", rank))
+
+    def numpy(self, rank: int) -> np.ndarray:
+        return self.buf.local(rank)
+
+    def free(self) -> None:
+        self.buf.free()
+
+    def __repr__(self) -> str:
+        return (f"SymmetricTensor(shape={self.shape}, "
+                f"dtype={self.dtype.name}, world={self.world_size})")
+
+
+def to_symmetric(t: Union[Tensor, np.ndarray], comm: Communicator,
+                 rank: int = 0) -> SymmetricTensor:
+    """Allocate symmetric device memory and copy a host tensor into it.
+
+    The payload lands on ``rank``'s instance; peers start zeroed (they are
+    typically communication destinations).
+    """
+    data = t.numpy() if isinstance(t, Tensor) else np.asarray(t)
+    buf = comm.alloc(data.shape, data.dtype)
+    buf.local(rank)[...] = data
+    return SymmetricTensor(buf, comm)

@@ -1,0 +1,111 @@
+"""Minimal PyTorch-like tensor for the framework-integration layer.
+
+The paper integrates its fused operators into PyTorch by adding (1) an API
+that allocates device memory on the symmetric heap and moves host tensors
+into it, and (2) operator entry points (``torch.embeddingAll2AllOp()``-
+style).  :class:`Tensor` provides just enough of the torch surface — data,
+device placement, a ``.to()`` method — for that integration to be expressed
+and tested faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Device", "tensor"]
+
+
+class Device:
+    """A placement: host CPU or a simulated GPU rank."""
+
+    def __init__(self, kind: str, index: Optional[int] = None):
+        if kind not in ("cpu", "gpu"):
+            raise ValueError(f"unknown device kind {kind!r}")
+        if kind == "gpu" and (index is None or index < 0):
+            raise ValueError("gpu device needs a non-negative index")
+        self.kind = kind
+        self.index = index
+
+    @classmethod
+    def parse(cls, spec: Union[str, "Device"]) -> "Device":
+        if isinstance(spec, Device):
+            return spec
+        if spec == "cpu":
+            return cls("cpu")
+        if spec.startswith("gpu:"):
+            return cls("gpu", int(spec.split(":", 1)[1]))
+        raise ValueError(f"cannot parse device {spec!r}")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Device) and self.kind == other.kind
+                and self.index == other.index)
+
+    def __hash__(self):
+        return hash((self.kind, self.index))
+
+    def __repr__(self) -> str:
+        return self.kind if self.kind == "cpu" else f"gpu:{self.index}"
+
+
+class Tensor:
+    """A NumPy-backed tensor with device placement."""
+
+    def __init__(self, data: np.ndarray, device: Union[str, Device] = "cpu"):
+        self._data = np.asarray(data)
+        self.device = Device.parse(device)
+
+    # -- torch-like surface -----------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    def numpy(self) -> np.ndarray:
+        """Host view of the data (torch's ``.cpu().numpy()``)."""
+        return self._data
+
+    def to(self, device: Union[str, Device]) -> "Tensor":
+        """Move to a device (copy semantics, like torch)."""
+        return Tensor(self._data.copy(), Device.parse(device))
+
+    def clone(self) -> "Tensor":
+        return Tensor(self._data.copy(), self.device)
+
+    # -- arithmetic ----------------------------------------------------------
+    def _coerce(self, other):
+        return other._data if isinstance(other, Tensor) else other
+
+    def __add__(self, other):
+        return Tensor(self._data + self._coerce(other), self.device)
+
+    def __sub__(self, other):
+        return Tensor(self._data - self._coerce(other), self.device)
+
+    def __mul__(self, other):
+        return Tensor(self._data * self._coerce(other), self.device)
+
+    def __matmul__(self, other):
+        return Tensor(self._data @ self._coerce(other), self.device)
+
+    def __getitem__(self, idx):
+        return Tensor(self._data[idx], self.device)
+
+    def __repr__(self) -> str:
+        return (f"Tensor(shape={self.shape}, dtype={self.dtype.name}, "
+                f"device={self.device})")
+
+
+def tensor(data, device: Union[str, Device] = "cpu",
+           dtype=None) -> Tensor:
+    """Factory mirroring ``torch.tensor``."""
+    arr = np.asarray(data, dtype=dtype)
+    return Tensor(arr, device)

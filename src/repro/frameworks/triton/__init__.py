@@ -1,0 +1,19 @@
+"""Mini-Triton: a tile language + compiler with communication extensions.
+
+The paper extends the Triton framework with communication primitives so
+developers can write custom fused computation-collective kernels in a
+Python-like language (Section III-D); the GEMM + All-to-All operator is
+implemented this way.  This package mirrors that integration:
+
+* :mod:`.language` (``tl``) — the tile ops, including the ``tl.comm``
+  extension (``put_tile`` / ``signal``).
+* :mod:`.compiler` — ``@jit`` and ``build_tasks`` lowering tile programs
+  onto the simulated GPU's persistent-kernel runtime.
+"""
+
+from . import language as tl
+from .comm import PutTile, Signal, issue_actions
+from .compiler import JitFunction, LaunchReport, build_tasks, jit
+
+__all__ = ["JitFunction", "LaunchReport", "PutTile", "Signal",
+           "build_tasks", "issue_actions", "jit", "tl"]

@@ -1,0 +1,74 @@
+"""Communication actions queued by ``tl.comm`` and issued by the runtime.
+
+The paper extends Triton with "the necessary communication primitives to
+develop custom fused kernels" (a Python wrapper over ROC_SHMEM's scale-up
+APIs).  Here the primitives compile to the same :class:`repro.comm.shmem`
+operations the hand-written fused kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+import numpy as np
+
+from ...comm.shmem import FlagArray, ShmemContext
+
+__all__ = ["PutTile", "Signal", "issue_actions"]
+
+
+@dataclass
+class PutTile:
+    """Direct store of a computed tile into a peer rank's symmetric buffer."""
+
+    symbuf: Any            #: SymmetricBuffer (or None in timing-only mode)
+    value: np.ndarray
+    dst_rank: int
+    index: Any
+    wire_bytes: float = None  #: override payload size (dtype narrowing)
+
+    def nbytes(self) -> float:
+        return float(self.wire_bytes if self.wire_bytes is not None
+                     else self.value.nbytes)
+
+
+@dataclass
+class Signal:
+    """Set a flag on a peer, optionally fenced behind this WG's puts."""
+
+    flags: FlagArray
+    dst_rank: int
+    flag_idx: int
+    after_all_puts: bool = True
+
+
+def issue_actions(ctx: ShmemContext, actions: List,
+                  pending_by_dst: dict) -> None:
+    """Issue a program instance's queued comm actions through SHMEM.
+
+    Puts are non-blocking.  A :class:`Signal` with ``after_all_puts`` is
+    chained behind every put previously issued to the same destination
+    (the PUT / fence / flag-PUT idiom); ``pending_by_dst`` carries the
+    outstanding put events across program instances of the same kernel.
+    """
+    sim = ctx.sim
+    for act in actions:
+        if isinstance(act, PutTile):
+            if act.symbuf is not None:
+                act.symbuf.local(act.dst_rank)[act.index] = act.value
+            ev = ctx.put_bytes(act.dst_rank, act.nbytes())
+            pending_by_dst.setdefault(act.dst_rank, []).append(ev)
+        elif isinstance(act, Signal):
+            def fire(flags=act.flags, dst=act.dst_rank, idx=act.flag_idx):
+                flag_ev = ctx.put_bytes(dst, 8.0)
+                flag_ev.add_callback(lambda _e: flags.set(dst, idx))
+
+            if act.after_all_puts:
+                evs = [e for e in pending_by_dst.get(act.dst_rank, [])
+                       if not e.processed]
+                sim.all_of(evs).add_callback(lambda _e, f=fire: f())
+            else:
+                fire()
+        else:
+            raise TypeError(f"unknown comm action {act!r}")

@@ -1,0 +1,142 @@
+"""Mini-Triton "compiler": turns tile programs into simulated kernel tasks.
+
+Real Triton JIT-compiles a tile program per grid instance; here each grid
+instance becomes one :class:`~repro.kernels.WgTask` executed by the
+persistent-kernel runtime on the simulated GPU:
+
+* the instance's *functional* effect runs in NumPy when the task executes,
+* its *cost* is the analytic per-tile cost supplied by the caller (the
+  recorded FLOPs/bytes from execution are kept alongside so tests can
+  cross-check the two),
+* its queued ``tl.comm`` actions are issued by the task's completion hook —
+  non-blocking puts plus fenced flag signals, exactly like the hand-written
+  fused kernels.
+
+``JitFunction.interpret`` also provides Triton's CPU interpreter mode: run
+the whole grid eagerly (no simulator), returning the recorded cost — used
+for unit-testing tile programs in isolation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...comm.shmem import ShmemContext
+from ...hw.gpu import WgCost
+from ...kernels.grid import WgTask
+from . import language as tl_mod
+from .comm import issue_actions
+from .language import TileContext
+
+__all__ = ["jit", "JitFunction", "build_tasks", "LaunchReport"]
+
+
+class JitFunction:
+    """A tile program wrapped for grid execution."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.__name__ = getattr(fn, "__name__", "kernel")
+        self.__doc__ = fn.__doc__
+
+    def run_instance(self, grid: Tuple[int, ...], pos: Tuple[int, ...],
+                     *args, **kwargs) -> TileContext:
+        """Execute one program instance; returns its context (cost, comm)."""
+        ctx = TileContext(grid=tuple(grid), grid_pos=tuple(pos))
+        tl_mod.push_context(ctx)
+        try:
+            self.fn(*args, **kwargs)
+        finally:
+            tl_mod.pop_context()
+        return ctx
+
+    def interpret(self, grid: Sequence[int], *args, **kwargs) -> "LaunchReport":
+        """CPU interpreter mode: run every instance eagerly, apply comm
+        actions' functional effects immediately, aggregate the cost."""
+        report = LaunchReport()
+        for pos in itertools.product(*(range(g) for g in grid)):
+            ctx = self.run_instance(tuple(grid), pos, *args, **kwargs)
+            report.add(pos, ctx)
+            for act in ctx.comm_actions:
+                from .comm import PutTile
+                if isinstance(act, PutTile) and act.symbuf is not None:
+                    act.symbuf.local(act.dst_rank)[act.index] = act.value
+        return report
+
+    def __call__(self, *args, **kwargs):
+        raise TypeError(
+            f"tile program {self.__name__!r} cannot be called directly; use "
+            f".interpret(grid, ...) or build_tasks(...) for a simulated "
+            f"launch")
+
+
+def jit(fn: Callable) -> JitFunction:
+    """Decorator: mark a function as a tile program."""
+    return JitFunction(fn)
+
+
+@dataclass
+class LaunchReport:
+    """Aggregated recorded cost of a grid execution."""
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    instances: int = 0
+    per_instance: Dict[Tuple[int, ...], Tuple[float, float]] = field(
+        default_factory=dict)
+
+    def add(self, pos, ctx: TileContext) -> None:
+        self.flops += ctx.flops
+        self.bytes += ctx.bytes
+        self.instances += 1
+        self.per_instance[tuple(pos)] = (ctx.flops, ctx.bytes)
+
+
+def build_tasks(kernel: JitFunction, grid: Sequence[int], args: tuple,
+                *, cost: WgCost, shmem_ctx: ShmemContext,
+                meta_fn: Optional[Callable[[Tuple[int, ...]], dict]] = None,
+                report: Optional[LaunchReport] = None,
+                kwargs: Optional[dict] = None) -> List[WgTask]:
+    """Compile a grid launch into persistent-kernel tasks.
+
+    Args:
+        cost: analytic per-instance :class:`WgCost` (drives timing).
+        shmem_ctx: this rank's SHMEM context for the comm actions.
+        meta_fn: optional ``grid_pos -> meta dict`` (e.g. remote/dest tags
+            consumed by the communication-aware scheduler).
+        report: optional :class:`LaunchReport` filled as instances execute.
+        kwargs: extra keyword arguments for the tile program.
+    """
+    kwargs = kwargs or {}
+    spec = shmem_ctx.gpu.spec
+    pending_by_dst: dict = {}
+    tasks: List[WgTask] = []
+    for task_id, pos in enumerate(
+            itertools.product(*(range(g) for g in grid))):
+        meta = meta_fn(pos) if meta_fn is not None else {}
+        meta.setdefault("grid_pos", pos)
+        task = WgTask(task_id=task_id, cost=cost, meta=meta)
+        stash: dict = {}
+
+        def compute(pos=pos, stash=stash):
+            ctx = kernel.run_instance(tuple(grid), pos, *args, **kwargs)
+            stash["actions"] = ctx.comm_actions
+            if report is not None:
+                report.add(pos, ctx)
+
+        def hook(slot_ctx, task, stash=stash):
+            actions = stash.pop("actions", [])
+            if not actions:
+                return None
+            slot_ctx.record("put_issue", n_actions=len(actions),
+                            **{k: v for k, v in task.meta.items()
+                               if k != "grid_pos"})
+            issue_actions(shmem_ctx, actions, pending_by_dst)
+            yield slot_ctx.charge(spec.shmem_api_latency)
+
+        task.compute = compute
+        task.on_complete = hook
+        tasks.append(task)
+    return tasks

@@ -1,0 +1,197 @@
+"""Mini-Triton tile language (`tl`).
+
+A small, NumPy-backed subset of Triton's tile language, sufficient to write
+blocked GEMM-style kernels the way Triton users do::
+
+    @jit
+    def kernel(A, B, Out, K, BLOCK_M, BLOCK_N):
+        pid_m = tl.program_id(0)
+        pid_n = tl.program_id(1)
+        a = tl.load(A, rows=(pid_m * BLOCK_M, BLOCK_M))
+        b = tl.load(B, cols=(pid_n * BLOCK_N, BLOCK_N))
+        acc = tl.dot(a, b)
+        tl.comm.put_tile(Out, acc, ...)        # the paper's extension
+
+Each *program instance* executes against a :class:`TileContext` that (a)
+performs the functional NumPy computation, (b) records the FLOPs and HBM
+bytes the instance generated (used to cross-check the analytic cost models),
+and (c) queues communication actions (see :mod:`repro.frameworks.triton.comm`)
+for the simulated runtime to issue when the instance's compute time elapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TileContext", "program_id", "num_programs", "zeros", "full",
+           "arange", "load", "store", "dot", "maximum", "where", "comm"]
+
+
+class TritonError(RuntimeError):
+    """Misuse of the tile language (e.g. ops outside a program instance)."""
+
+
+@dataclass
+class TileContext:
+    """State of one executing program instance."""
+
+    grid: Tuple[int, ...]
+    grid_pos: Tuple[int, ...]
+    flops: float = 0.0
+    bytes: float = 0.0
+    comm_actions: List = field(default_factory=list)
+    comm_handle: Optional[object] = None  #: set by the runtime
+
+    def axis(self, i: int) -> int:
+        if not (0 <= i < len(self.grid)):
+            raise TritonError(f"program_id axis {i} out of range for "
+                              f"{len(self.grid)}-D grid")
+        return self.grid_pos[i]
+
+
+_STACK: List[TileContext] = []
+
+
+def _ctx() -> TileContext:
+    if not _STACK:
+        raise TritonError(
+            "tile-language op used outside a kernel program instance")
+    return _STACK[-1]
+
+
+def push_context(ctx: TileContext) -> None:
+    _STACK.append(ctx)
+
+
+def pop_context() -> TileContext:
+    return _STACK.pop()
+
+
+# ---------------------------------------------------------------------------
+# Index / creation ops
+# ---------------------------------------------------------------------------
+
+def program_id(axis: int) -> int:
+    """This instance's coordinate along a grid axis."""
+    return _ctx().axis(axis)
+
+
+def num_programs(axis: int) -> int:
+    """Grid extent along an axis."""
+    ctx = _ctx()
+    if not (0 <= axis < len(ctx.grid)):
+        raise TritonError(f"axis {axis} out of range")
+    return ctx.grid[axis]
+
+
+def zeros(shape, dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def full(shape, value, dtype=np.float32) -> np.ndarray:
+    return np.full(shape, value, dtype=dtype)
+
+
+def arange(start: int, end: int) -> np.ndarray:
+    if end <= start:
+        raise TritonError(f"arange({start}, {end}) is empty")
+    return np.arange(start, end)
+
+
+# ---------------------------------------------------------------------------
+# Memory ops (recorded)
+# ---------------------------------------------------------------------------
+
+def _resolve(tensor: np.ndarray, rows, cols) -> Tuple[slice, slice]:
+    def to_slice(spec, extent):
+        if spec is None:
+            return slice(0, extent)
+        off, length = spec
+        if off < 0 or off + length > extent:
+            raise TritonError(
+                f"block [{off}, {off + length}) out of bounds for extent "
+                f"{extent}")
+        return slice(off, off + length)
+
+    if tensor.ndim != 2:
+        raise TritonError(f"load/store expect 2-D tensors, got {tensor.ndim}-D")
+    return to_slice(rows, tensor.shape[0]), to_slice(cols, tensor.shape[1])
+
+
+def load(tensor: np.ndarray, rows=None, cols=None) -> np.ndarray:
+    """Load a ``(rows, cols)`` block; records the HBM read traffic."""
+    r, c = _resolve(tensor, rows, cols)
+    block = tensor[r, c]
+    _ctx().bytes += block.nbytes
+    return block.copy()
+
+
+def store(tensor: np.ndarray, value: np.ndarray, rows=None, cols=None) -> None:
+    """Store a block; records the HBM write traffic."""
+    r, c = _resolve(tensor, rows, cols)
+    if tensor[r, c].shape != value.shape:
+        raise TritonError(
+            f"store shape mismatch: block {tensor[r, c].shape} vs value "
+            f"{value.shape}")
+    tensor[r, c] = value
+    _ctx().bytes += value.nbytes
+
+
+# ---------------------------------------------------------------------------
+# Compute ops (recorded)
+# ---------------------------------------------------------------------------
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Tile matmul; records ``2 * m * n * k`` FLOPs."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise TritonError(f"dot shape mismatch: {a.shape} @ {b.shape}")
+    _ctx().flops += 2.0 * a.shape[0] * a.shape[1] * b.shape[1]
+    return a @ b
+
+
+def maximum(a, b) -> np.ndarray:
+    out = np.maximum(a, b)
+    _ctx().flops += float(np.size(out))
+    return out
+
+
+def where(cond, a, b) -> np.ndarray:
+    out = np.where(cond, a, b)
+    _ctx().flops += float(np.size(out))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Communication extension (the paper's contribution to Triton)
+# ---------------------------------------------------------------------------
+
+class _CommNamespace:
+    """``tl.comm`` — GPU-initiated communication primitives.
+
+    These do not move data immediately: they queue
+    :class:`~repro.frameworks.triton.comm.PutTile` /
+    :class:`~repro.frameworks.triton.comm.Signal` actions that the
+    simulated runtime issues when this program instance's compute time has
+    elapsed (matching intra-kernel GPU-initiated semantics: the stores
+    leave the WG as it finishes its tile).
+    """
+
+    def put_tile(self, symbuf, value: np.ndarray, dst_rank: int,
+                 index, wire_bytes: float = None) -> None:
+        from .comm import PutTile
+        _ctx().comm_actions.append(
+            PutTile(symbuf=symbuf, value=np.asarray(value),
+                    dst_rank=dst_rank, index=index, wire_bytes=wire_bytes))
+
+    def signal(self, flags, dst_rank: int, flag_idx: int,
+               after_all_puts: bool = True) -> None:
+        from .comm import Signal
+        _ctx().comm_actions.append(
+            Signal(flags=flags, dst_rank=dst_rank, flag_idx=flag_idx,
+                   after_all_puts=after_all_puts))
+
+
+comm = _CommNamespace()

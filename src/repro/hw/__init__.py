@@ -1,0 +1,46 @@
+"""Hardware models: GPUs, HBM, fabric links, NICs, clusters."""
+
+from .fabric import Fabric
+from .gpu import Gpu, KernelResources, OccupancyInfo, WgCost
+from .memory import HbmModel
+from .network import Network
+from .nic import Nic
+from .specs import (
+    IB_NIC,
+    IF_LINK,
+    MI210,
+    ClusterSpec,
+    GpuSpec,
+    LinkSpec,
+    NicSpec,
+    NodeSpec,
+    mi210_node_spec,
+    two_node_cluster_spec,
+)
+from .topology import Cluster, Node, build_cluster, build_node, from_cluster_spec
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Fabric",
+    "Gpu",
+    "GpuSpec",
+    "HbmModel",
+    "IB_NIC",
+    "IF_LINK",
+    "KernelResources",
+    "LinkSpec",
+    "MI210",
+    "Network",
+    "Nic",
+    "NicSpec",
+    "Node",
+    "NodeSpec",
+    "OccupancyInfo",
+    "WgCost",
+    "build_cluster",
+    "build_node",
+    "from_cluster_spec",
+    "mi210_node_spec",
+    "two_node_cluster_spec",
+]

@@ -1,0 +1,62 @@
+"""Intra-node GPU fabric: fully-connected fair-share links.
+
+Each *directed* GPU pair gets its own :class:`~repro.sim.FairShareLink` with
+the spec's bandwidth — the paper's scale-up setup (4 MI210s fully connected
+over 80 GB/s Infinity Fabric).  Processor sharing on a link is what produces
+the contention effect the paper reports for the large-M GEMV + AllReduce
+configurations (Fig. 9): many WGs streaming stores to the same peer split
+the link bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..sim import Event, FairShareLink, Simulator
+from .specs import LinkSpec
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Fully-connected intra-node interconnect between a set of GPUs."""
+
+    def __init__(self, sim: Simulator, gpus: Iterable["Gpu"], spec: LinkSpec):
+        self.sim = sim
+        self.spec = spec
+        self.gpus = list(gpus)
+        if len(self.gpus) < 1:
+            raise ValueError("fabric needs at least one GPU")
+        self._links: Dict[Tuple[int, int], FairShareLink] = {}
+        for src in self.gpus:
+            for dst in self.gpus:
+                if src.gpu_id == dst.gpu_id:
+                    continue
+                self._links[(src.gpu_id, dst.gpu_id)] = FairShareLink(
+                    sim, bandwidth=spec.bandwidth, latency=spec.latency,
+                    name=f"{spec.name}:{src.gpu_id}->{dst.gpu_id}")
+            src.fabric = self
+
+    def link(self, src: "Gpu", dst: "Gpu") -> FairShareLink:
+        try:
+            return self._links[(src.gpu_id, dst.gpu_id)]
+        except KeyError:
+            raise KeyError(
+                f"no fabric link {src.gpu_id}->{dst.gpu_id}; GPUs on this "
+                f"fabric: {[g.gpu_id for g in self.gpus]}") from None
+
+    def transfer(self, src: "Gpu", dst: "Gpu", nbytes: float,
+                 value=None) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; event fires on delivery."""
+        if src.gpu_id == dst.gpu_id:
+            # Local "transfer" — modelled as immediate (caller accounts HBM).
+            ev = self.sim.event()
+            ev.succeed(value)
+            return ev
+        return self.link(src, dst).transfer(nbytes, value=value)
+
+    def total_bytes(self) -> float:
+        return sum(l.bytes_sent for l in self._links.values())
+
+    def links(self) -> Dict[Tuple[int, int], FairShareLink]:
+        return dict(self._links)

@@ -1,0 +1,50 @@
+"""Inter-node network: a non-blocking switch with per-destination ports.
+
+The paper's hardware scale-out setup is two nodes behind an InfiniBand
+switch; larger configurations (the 128-node DLRM study) are modelled by
+:mod:`repro.astra` analytically.  The switch is non-blocking: each
+*destination port* is a FIFO server at NIC bandwidth (so incast — several
+sources targeting one node — serializes at the port), plus one propagation
+latency per message, pipelined.  Payload bandwidth is charged here, exactly
+once per transfer (see :meth:`repro.hw.nic.Nic.rdma_put`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Event, FifoChannel, Simulator
+from .specs import NicSpec
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Switched inter-node network connecting node NICs."""
+
+    def __init__(self, sim: Simulator, spec: NicSpec, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.sim = sim
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self._rx_ports: Dict[int, FifoChannel] = {
+            n: FifoChannel(sim, bandwidth=spec.bandwidth,
+                           latency=spec.latency, name=f"switch.rx{n}")
+            for n in range(num_nodes)
+        }
+        self.bytes_delivered = 0.0
+
+    def deliver(self, src_node: int, dst_node: int, nbytes: float) -> Event:
+        """Carry ``nbytes`` from ``src_node`` to ``dst_node``'s memory."""
+        if not (0 <= src_node < self.num_nodes):
+            raise ValueError(f"bad src node {src_node}")
+        if not (0 <= dst_node < self.num_nodes):
+            raise ValueError(f"bad dst node {dst_node}")
+        if src_node == dst_node:
+            raise ValueError("inter-node delivery to the same node")
+        self.bytes_delivered += nbytes
+        return self._rx_ports[dst_node].transfer(nbytes)
+
+    def rx_port(self, node: int) -> FifoChannel:
+        return self._rx_ports[node]

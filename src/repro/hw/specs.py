@@ -1,0 +1,165 @@
+"""Hardware specification dataclasses and the calibrated MI210 profile.
+
+All performance numbers are taken from public AMD Instinct MI210 datasheets
+and the paper's Table I (4 GPUs fully connected over Infinity Fabric at
+80 GB/s; 2 nodes over 20 GB/s InfiniBand).  Two free parameters —
+``hbm_concurrency`` and the ``hbm_efficiency`` knee — are calibrated once so
+the occupancy sweep of the paper's Fig. 13 reproduces (execution time falls
+~46% from 25%→75% occupancy, then rises ~25% at 87.5%); see
+:mod:`repro.hw.memory` for the derivation.  They are then used unchanged by
+every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..utils.units import GB, GB_PER_S, GIB, NS, US
+
+__all__ = [
+    "GpuSpec",
+    "LinkSpec",
+    "NicSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "MI210",
+    "IF_LINK",
+    "IB_NIC",
+    "mi210_node_spec",
+    "two_node_cluster_spec",
+]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU device.
+
+    Attributes mirror the quantities the execution model needs; see
+    :class:`repro.hw.gpu.Gpu` for how they are consumed.
+    """
+
+    name: str
+    num_cus: int                      #: compute units
+    wave_size: int                    #: threads per wavefront
+    simds_per_cu: int                 #: SIMD units per CU
+    max_waves_per_simd: int           #: HW wave slots per SIMD
+    vgprs_per_simd: int               #: architected VGPRs per SIMD per lane
+    vgpr_granule: int                 #: VGPR allocation granularity
+    lds_per_cu: int                   #: bytes of LDS per CU
+    max_wgs_per_cu: int               #: HW limit on resident workgroups per CU
+    fp32_flops: float                 #: peak vector fp32 FLOP/s
+    fp16_flops: float                 #: peak matrix fp16 FLOP/s
+    hbm_bandwidth: float              #: peak HBM bytes/s
+    hbm_capacity: float               #: HBM bytes
+    hbm_concurrency: float            #: calibration: streams needed to saturate
+    hbm_efficiency: Tuple[Tuple[float, float], ...]  #: (occupancy, efficiency)
+    kernel_launch_overhead: float     #: seconds per kernel launch
+    wg_dispatch_overhead: float       #: seconds per logical-WG task switch
+    shmem_api_latency: float          #: GPU-initiated comm API issue cost (s)
+    flag_op_latency: float            #: book-keeping atomic (bitmask/flag) cost
+
+    @property
+    def max_waves_per_cu(self) -> int:
+        return self.simds_per_cu * self.max_waves_per_simd
+
+    def flop_rate(self, dtype: str = "fp32") -> float:
+        """Peak device FLOP/s for the given dtype."""
+        if dtype in ("fp32", "float32"):
+            return self.fp32_flops
+        if dtype in ("fp16", "float16", "bf16"):
+            return self.fp16_flops
+        raise ValueError(f"unknown dtype {dtype!r}")
+
+    def with_overrides(self, **kw) -> "GpuSpec":
+        """Return a copy with fields replaced (for ablations)."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point intra-node fabric link (Infinity Fabric / xGMI)."""
+
+    bandwidth: float     #: bytes/s per direction
+    latency: float       #: propagation + protocol latency (s)
+    name: str = "xgmi"
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """RDMA-capable NIC (GPU-direct path)."""
+
+    bandwidth: float        #: bytes/s
+    latency: float          #: end-to-end message latency (s)
+    message_overhead: float #: per-message processing cost at the NIC (s)
+    name: str = "ib"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One server node: GPUs, the fabric between them, and NICs."""
+
+    gpu: GpuSpec
+    num_gpus: int
+    link: LinkSpec
+    nic: NicSpec
+    nics_per_node: int = 1
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A multi-node system."""
+
+    node: NodeSpec
+    num_nodes: int
+
+
+# ---------------------------------------------------------------------------
+# Calibrated profiles (paper Table I)
+# ---------------------------------------------------------------------------
+
+#: AMD Instinct MI210 calibration.
+#:
+#: - 104 CUs, 4 SIMDs/CU, 8 wave slots/SIMD, wave size 64.
+#: - 22.6 TFLOP/s vector fp32, 181 TFLOP/s matrix fp16.
+#: - 1.6384 TB/s HBM2e, 64 GiB.
+#: - ``hbm_concurrency`` = 2.16 and the efficiency knee reproduce Fig. 13;
+#:   derivation in :mod:`repro.hw.memory`.
+MI210 = GpuSpec(
+    name="MI210",
+    num_cus=104,
+    wave_size=64,
+    simds_per_cu=4,
+    max_waves_per_simd=8,
+    vgprs_per_simd=512,
+    vgpr_granule=8,
+    lds_per_cu=64 * 1024,
+    max_wgs_per_cu=16,
+    fp32_flops=22.6e12,
+    fp16_flops=181.0e12,
+    hbm_bandwidth=1638.4 * GB_PER_S,
+    hbm_capacity=64 * GIB,
+    hbm_concurrency=2.16,
+    hbm_efficiency=((0.0, 1.0), (0.78, 1.0), (0.875, 0.80), (1.0, 0.78)),
+    kernel_launch_overhead=10 * US,
+    wg_dispatch_overhead=0.2 * US,
+    shmem_api_latency=0.8 * US,
+    flag_op_latency=0.1 * US,
+)
+
+#: Infinity Fabric link between two GPUs in a node (Table I: 80 GB/s).
+IF_LINK = LinkSpec(bandwidth=80 * GB_PER_S, latency=0.3 * US, name="InfinityFabric")
+
+#: InfiniBand NIC (Table I: 20 GB/s).
+IB_NIC = NicSpec(bandwidth=20 * GB_PER_S, latency=1.5 * US,
+                 message_overhead=0.3 * US, name="InfiniBand")
+
+
+def mi210_node_spec(num_gpus: int = 4) -> NodeSpec:
+    """Paper scale-up node: ``num_gpus`` MI210s, fully connected at 80 GB/s."""
+    return NodeSpec(gpu=MI210, num_gpus=num_gpus, link=IF_LINK, nic=IB_NIC)
+
+
+def two_node_cluster_spec(gpus_per_node: int = 1) -> ClusterSpec:
+    """Paper scale-out setup: 2 nodes, 1 GPU each, IB between them."""
+    return ClusterSpec(node=mi210_node_spec(gpus_per_node), num_nodes=2)

@@ -1,0 +1,66 @@
+"""WG-completion bookkeeping: the per-slice ``WG_Done`` bitmask.
+
+The paper tracks, per output slice, which of the logical WGs computing that
+slice have finished; the *last* finisher issues the remote PUT for the whole
+slice (Section III-A, "Book-keeping Flags" / "Synchronization").  The real
+kernels reduce the bitmask with cross-lane operations instead of an
+inter-WG barrier; here the single-threaded simulator makes the
+test-and-set atomic by construction, and the cross-lane cost is charged by
+the caller via ``GpuSpec.flag_op_latency``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["WgDoneBitmask"]
+
+
+class WgDoneBitmask:
+    """Per-slice completion bitmask local to one GPU."""
+
+    def __init__(self):
+        self._expected: Dict[int, int] = {}
+        self._done: Dict[int, int] = {}
+
+    def register(self, slice_id: int, n_wgs: int) -> None:
+        """Declare that ``slice_id`` is produced by ``n_wgs`` logical WGs."""
+        if n_wgs < 1:
+            raise ValueError(f"slice needs >= 1 WG, got {n_wgs}")
+        if slice_id in self._expected:
+            raise ValueError(f"slice {slice_id} already registered")
+        self._expected[slice_id] = n_wgs
+        self._done[slice_id] = 0
+
+    def set_done(self, slice_id: int, wg_index: int) -> bool:
+        """Mark one WG of the slice complete; True iff it was the last.
+
+        ``wg_index`` is the WG's position within the slice (0-based); each
+        index may complete only once.
+        """
+        try:
+            expected = self._expected[slice_id]
+        except KeyError:
+            raise KeyError(f"slice {slice_id} was never registered") from None
+        if not (0 <= wg_index < expected):
+            raise ValueError(
+                f"wg_index {wg_index} out of range for slice {slice_id} "
+                f"({expected} WGs)")
+        mask = 1 << wg_index
+        if self._done[slice_id] & mask:
+            raise ValueError(
+                f"WG {wg_index} of slice {slice_id} completed twice")
+        self._done[slice_id] |= mask
+        return self._done[slice_id] == (1 << expected) - 1
+
+    def is_complete(self, slice_id: int) -> bool:
+        expected = self._expected.get(slice_id)
+        if expected is None:
+            return False
+        return self._done[slice_id] == (1 << expected) - 1
+
+    def pending_slices(self) -> List[int]:
+        return [s for s in self._expected if not self.is_complete(s)]
+
+    def __len__(self) -> int:
+        return len(self._expected)

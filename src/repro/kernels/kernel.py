@@ -1,0 +1,188 @@
+"""Persistent-workgroup kernel runtime.
+
+Implements the paper's execution model (Section III-A): a kernel is launched
+with a *fixed, input-independent grid* of physical workgroups (at most the
+device's occupancy limit).  Each physical WG runs a task loop, executing
+logical-WG tasks pulled from a shared queue; after each task it runs the
+task's ``on_complete`` hook (where fused kernels issue communication), and
+after the queue drains it runs the kernel's per-slot ``epilogue`` (where
+fused kernels poll their subset of ``sliceRdy`` flags).
+
+The same runtime executes baseline compute kernels — with no hooks, it is
+timing-equivalent to an ordinary bulk-synchronous launch under this model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..hw.gpu import Gpu, KernelResources, OccupancyInfo, WgCost
+from ..sim import Process, Simulator, TraceRecorder
+from .grid import SlotContext, WgTask
+
+__all__ = ["PersistentKernel", "run_kernel", "make_uniform_tasks"]
+
+#: Task loops at most this many rounds long get a balanced grid; longer
+#: loops amortize their tail and launch at full occupancy.
+_BALANCE_ROUNDS = 8
+
+
+class PersistentKernel:
+    """A persistent kernel bound to one GPU, ready to launch."""
+
+    def __init__(self, gpu: Gpu, resources: KernelResources,
+                 tasks: Sequence[WgTask], name: str = "kernel",
+                 occupancy_limit: Optional[float] = None,
+                 epilogue: Optional[Callable[[SlotContext],
+                                             Optional[Generator]]] = None,
+                 trace: Optional[TraceRecorder] = None):
+        """
+        Args:
+            occupancy_limit: optional fraction in (0, 1] of the kernel's own
+                achievable occupancy; persistent kernels choose their grid
+                size, which is the knob of the paper's Fig. 13 sweep.
+            epilogue: per-physical-WG generator run after the task queue
+                drains (e.g. waiting on a distinct subset of sliceRdy flags).
+        """
+        if not tasks:
+            raise ValueError("kernel needs at least one task")
+        self.gpu = gpu
+        self.sim: Simulator = gpu.sim
+        self.resources = resources
+        self.tasks = list(tasks)
+        self.name = name
+        self.epilogue = epilogue
+        self.trace = trace if trace is not None else gpu.trace
+        occ = gpu.occupancy(resources)
+        if occupancy_limit is not None:
+            if not (0.0 < occupancy_limit <= 1.0):
+                raise ValueError(
+                    f"occupancy_limit must be in (0, 1], got {occupancy_limit}")
+            occ = occ.limited_to(
+                max(1, int(round(occ.resident_wgs * occupancy_limit))))
+            if len(self.tasks) < occ.resident_wgs:
+                occ = occ.limited_to(len(self.tasks))
+        else:
+            # Grid-size balancing: a persistent kernel knows its task count
+            # up front, so when the task loop is short it launches the
+            # largest grid (<= residency limit) that divides the
+            # *work-bearing* tasks into whole rounds — avoiding a tail
+            # round in which most physical WGs idle.  For long task loops
+            # (> _BALANCE_ROUNDS rounds) the tail is amortized and the
+            # kernel launches at full occupancy, as the paper's fused
+            # embedding kernel does.  Zero-cost bookkeeping tasks do not
+            # drive the grid size.
+            n_work = sum(1 for t in self.tasks
+                         if t.cost.flops > 0 or t.cost.bytes > 0)
+            n_work = n_work or len(self.tasks)
+            rounds = max(1, -(-n_work // occ.resident_wgs))
+            if rounds <= _BALANCE_ROUNDS:
+                balanced = min(occ.resident_wgs, -(-n_work // rounds))
+                occ = occ.limited_to(balanced)
+        self.occupancy: OccupancyInfo = occ
+        self.n_slots = min(occ.resident_wgs, len(self.tasks))
+
+    # -- execution ------------------------------------------------------------
+    def launch(self) -> Process:
+        """Launch the kernel; returns the process that completes with it."""
+        return self.sim.process(self.run(), name=self.name)
+
+    def run(self) -> Generator:
+        """Generator form, for composing inside an existing process."""
+        spec = self.gpu.spec
+        self.trace.record(self.sim.now, "kernel_launch", self.gpu.name,
+                          kernel=self.name, n_tasks=len(self.tasks),
+                          n_slots=self.n_slots,
+                          occupancy=self.occupancy.fraction)
+        yield self.sim.timeout(spec.kernel_launch_overhead)
+        queue = deque(self.tasks)
+        slots = [
+            self.sim.process(
+                self._slot_loop(SlotContext(self.sim, self.gpu, self,
+                                            slot_id=s, occupancy=self.occupancy,
+                                            trace=self.trace), queue),
+                name=f"{self.name}/slot{s}")
+            for s in range(self.n_slots)
+        ]
+        yield self.sim.all_of(slots)
+        self.trace.record(self.sim.now, "kernel_end", self.gpu.name,
+                          kernel=self.name)
+
+    def _slot_loop(self, ctx: SlotContext, queue: deque) -> Generator:
+        spec = self.gpu.spec
+        while queue:
+            task = queue.popleft()
+            ctx.record("wg_start", task=task.task_id, **task.meta)
+            if task.compute is not None:
+                task.compute()
+            dur = task.repeat * (
+                self.gpu.wg_duration(task.cost, self.occupancy)
+                + spec.wg_dispatch_overhead)
+            yield self.sim.timeout(dur)
+            ctx.record("wg_end", task=task.task_id)
+            if task.on_complete is not None:
+                hook = task.on_complete(ctx, task)
+                if hook is not None:
+                    yield from hook
+        if self.epilogue is not None:
+            epi = self.epilogue(ctx)
+            if epi is not None:
+                ctx.record("wait_start")
+                yield from epi
+                ctx.record("wait_end")
+
+    # -- estimates ------------------------------------------------------------
+    def compute_time_estimate(self) -> float:
+        """Closed-form compute-only estimate (ignores hooks/epilogues)."""
+        total = sum(
+            t.repeat * (self.gpu.wg_duration(t.cost, self.occupancy)
+                        + self.gpu.spec.wg_dispatch_overhead)
+            for t in self.tasks)
+        return (self.gpu.spec.kernel_launch_overhead
+                + total / max(self.n_slots, 1))
+
+
+def make_uniform_tasks(n: int, cost: WgCost, repeat: int = 1,
+                       **meta) -> List[WgTask]:
+    """``n`` identical tasks (typical regular kernels)."""
+    if n < 1:
+        raise ValueError("need at least one task")
+    return [WgTask(task_id=i, cost=cost, repeat=repeat, meta=dict(meta))
+            for i in range(n)]
+
+
+def bulk_kernel_time(gpu: Gpu, n_wgs: int, cost: WgCost,
+                     resources: KernelResources) -> float:
+    """Closed-form time of a bulk-synchronous kernel of ``n_wgs`` uniform WGs.
+
+    The kernel runs whole rounds of resident WGs at the kernel's occupancy;
+    the remainder (tail) round runs at the *tail's* reduced occupancy —
+    fewer resident WGs means each gets a larger share of a (ramp-limited)
+    smaller aggregate bandwidth.  When the whole grid is smaller than the
+    residency limit, the entire kernel is one such reduced-occupancy round
+    — the effect behind the paper's observation that small batch sizes
+    leave the baseline's per-table embedding kernels underutilized
+    (Fig. 12).
+    """
+    if n_wgs < 1:
+        raise ValueError("n_wgs must be >= 1")
+    occ = gpu.occupancy(resources)
+    total = gpu.spec.kernel_launch_overhead
+    full_rounds, tail = divmod(n_wgs, occ.resident_wgs)
+    if full_rounds:
+        total += full_rounds * (gpu.wg_duration(cost, occ)
+                                + gpu.spec.wg_dispatch_overhead)
+    if tail:
+        tail_occ = occ.limited_to(tail)
+        total += (gpu.wg_duration(cost, tail_occ)
+                  + gpu.spec.wg_dispatch_overhead)
+    return total
+
+
+def run_kernel(gpu: Gpu, resources: KernelResources, tasks: Sequence[WgTask],
+               name: str = "kernel",
+               trace: Optional[TraceRecorder] = None) -> Generator:
+    """Convenience: execute a plain bulk-synchronous kernel (no hooks)."""
+    kern = PersistentKernel(gpu, resources, tasks, name=name, trace=trace)
+    yield from kern.run()

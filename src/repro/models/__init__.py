@@ -1,0 +1,30 @@
+"""Workload models: DLRM, tensor-parallel Transformer MLP, MoE."""
+
+from .configs import (
+    TABLE2_DLRM,
+    TABLE2_TORUS,
+    DlrmModelConfig,
+    MoeLayerConfig,
+    TorusNetworkConfig,
+    TransformerMlpConfig,
+)
+from .datagen import categorical_indices, dense_features, token_batch
+from .dlrm import Dlrm
+from .moe import MoeLayer, top_k_gating
+from .transformer import TensorParallelMlp
+
+__all__ = [
+    "Dlrm",
+    "DlrmModelConfig",
+    "MoeLayer",
+    "MoeLayerConfig",
+    "TABLE2_DLRM",
+    "TABLE2_TORUS",
+    "TensorParallelMlp",
+    "TorusNetworkConfig",
+    "TransformerMlpConfig",
+    "categorical_indices",
+    "dense_features",
+    "token_batch",
+    "top_k_gating",
+]

@@ -1,0 +1,97 @@
+"""Model and system configurations from the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.units import GBIT_PER_S, NS
+
+__all__ = ["DlrmModelConfig", "TorusNetworkConfig", "TABLE2_DLRM",
+           "TABLE2_TORUS", "TransformerMlpConfig", "MoeLayerConfig"]
+
+
+@dataclass(frozen=True)
+class DlrmModelConfig:
+    """DLRM model parameters (paper Table II, after Neo [47])."""
+
+    embedding_dim: int = 92
+    mlp_avg_size: int = 682
+    mlp_layers: int = 43
+    avg_pooling: int = 70
+    total_tables: int = 856          #: Neo-scale production table count
+    local_batch: int = 512           #: per-node batch (training)
+
+    def validate(self) -> None:
+        for field_name in ("embedding_dim", "mlp_avg_size", "mlp_layers",
+                           "avg_pooling", "total_tables", "local_batch"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    def tables_per_node(self, num_nodes: int) -> float:
+        """Model-parallel table shard per node."""
+        return self.total_tables / num_nodes
+
+    def alltoall_bytes_per_node(self, itemsize: int = 4) -> float:
+        """Per-node All-to-All receive volume for one forward pass."""
+        return float(self.local_batch * self.total_tables
+                     * self.embedding_dim * itemsize)
+
+
+@dataclass(frozen=True)
+class TorusNetworkConfig:
+    """Scale-out network parameters (paper Table II: ASTRA-Sim setup)."""
+
+    link_bandwidth: float = 200 * GBIT_PER_S   #: bytes/s per link
+    link_latency: float = 700 * NS
+    links_per_node: int = 4                    #: 2D torus: +/-x, +/-y
+
+    def validate(self) -> None:
+        if self.link_bandwidth <= 0 or self.link_latency < 0:
+            raise ValueError("bad link parameters")
+        if self.links_per_node < 1:
+            raise ValueError("links_per_node must be >= 1")
+
+
+#: The paper's Table II rows, verbatim.
+TABLE2_DLRM = DlrmModelConfig()
+TABLE2_TORUS = TorusNetworkConfig()
+
+
+@dataclass(frozen=True)
+class TransformerMlpConfig:
+    """Tensor-parallel transformer feed-forward block (Megatron-style)."""
+
+    hidden: int = 8192
+    ffn_multiplier: int = 4
+    tensor_parallel: int = 4
+
+    @property
+    def ffn(self) -> int:
+        return self.hidden * self.ffn_multiplier
+
+    def shard_columns(self) -> int:
+        """First-layer column shard (W0 is split column-wise)."""
+        return self.ffn // self.tensor_parallel
+
+    def validate(self) -> None:
+        if self.hidden < 1 or self.ffn_multiplier < 1:
+            raise ValueError("bad transformer dims")
+        if self.ffn % self.tensor_parallel:
+            raise ValueError("ffn must divide across tensor_parallel ranks")
+
+
+@dataclass(frozen=True)
+class MoeLayerConfig:
+    """Expert-parallel MoE layer (one expert per GPU, top-2 routing)."""
+
+    tokens: int = 4096
+    model_dim: int = 4096
+    ffn_dim: int = 8192
+    num_experts: int = 4
+    top_k: int = 2
+
+    def validate(self) -> None:
+        if self.tokens % self.num_experts:
+            raise ValueError("tokens must divide across experts")
+        if not (1 <= self.top_k <= self.num_experts):
+            raise ValueError("top_k out of range")

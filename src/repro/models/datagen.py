@@ -1,0 +1,59 @@
+"""Synthetic input generators (the public DLRM repo's data generator role).
+
+The paper uses the data generator shipped with the public DLRM code for its
+kernel evaluations; this module reproduces its essentials: dense features
+are standard normal, categorical lookups are uniform (or Zipf-skewed, which
+the DLRM generator also supports) row ids with a fixed pooling factor.
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["dense_features", "categorical_indices", "token_batch"]
+
+
+def dense_features(batch: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Dense (bottom-MLP) input: ``(batch, dim)`` standard normal fp32."""
+    if batch < 1 or dim < 1:
+        raise ValueError("batch and dim must be >= 1")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch, dim)).astype(np.float32)
+
+
+def categorical_indices(batch: int, num_tables: int, pooling: int,
+                        rows_per_table: int, seed: int = 0,
+                        zipf_alpha: float = 0.0) -> np.ndarray:
+    """Sparse lookups: ``(num_tables, batch, pooling)`` int64 row ids.
+
+    ``zipf_alpha > 0`` skews lookups toward hot rows (production embedding
+    access patterns); 0 gives the uniform default.
+    """
+    if min(batch, num_tables, pooling, rows_per_table) < 1:
+        raise ValueError("all dimensions must be >= 1")
+    if zipf_alpha < 0:
+        raise ValueError("zipf_alpha must be >= 0")
+    rng = np.random.default_rng(seed)
+    shape = (num_tables, batch, pooling)
+    if zipf_alpha == 0.0:
+        return rng.integers(0, rows_per_table, size=shape, dtype=np.int64)
+    ranks = np.arange(1, rows_per_table + 1, dtype=np.float64)
+    probs = ranks ** (-zipf_alpha)
+    probs /= probs.sum()
+    flat = rng.choice(rows_per_table, size=int(np.prod(shape)), p=probs)
+    return flat.reshape(shape).astype(np.int64)
+
+
+def token_batch(tokens: int, model_dim: int,
+                seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Transformer/MoE token activations plus their source positions."""
+    if tokens < 1 or model_dim < 1:
+        raise ValueError("tokens and model_dim must be >= 1")
+    rng = np.random.default_rng(seed)
+    acts = (rng.standard_normal((tokens, model_dim)).astype(np.float32)
+            / np.sqrt(model_dim))
+    positions = np.arange(tokens, dtype=np.int64)
+    return acts, positions

@@ -1,0 +1,89 @@
+"""Functional DLRM (Naumov et al.) — the paper's motivating workload.
+
+Bottom MLP over dense features, embedding-bag pooling over categorical
+features, pairwise feature interaction, top MLP producing the CTR logit.
+This single-process functional model is the ground truth against which the
+distributed fused pipeline is verified, and supplies per-kernel costs to
+the scale-out simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..ops.activation import sigmoid
+from ..ops.embedding import embedding_pooling
+from ..ops.interaction import interaction, interaction_output_dim
+from ..ops.mlp import Mlp
+
+__all__ = ["Dlrm"]
+
+
+@dataclass
+class Dlrm:
+    """A complete (single-device) DLRM model."""
+
+    bottom_mlp: Mlp
+    tables: List[np.ndarray]          #: per-table (rows, dim) fp32
+    top_mlp: Mlp
+    pooling_mode: str = "sum"
+
+    @classmethod
+    def create(cls, dense_dim: int, embedding_dim: int, num_tables: int,
+               rows_per_table: int, bottom_sizes: List[int],
+               top_sizes: List[int],
+               rng: Optional[np.random.Generator] = None) -> "Dlrm":
+        """Build a DLRM with consistent layer plumbing.
+
+        ``bottom_sizes``/``top_sizes`` are hidden sizes; input/output dims
+        are derived (bottom ends at ``embedding_dim`` so the dense feature
+        joins the interaction; top ends at 1 logit).
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        bottom = Mlp.create([dense_dim, *bottom_sizes, embedding_dim],
+                            rng=rng)
+        tables = [
+            (rng.standard_normal((rows_per_table, embedding_dim)) * 0.1)
+            .astype(np.float32)
+            for _ in range(num_tables)
+        ]
+        inter_dim = interaction_output_dim(num_tables, embedding_dim)
+        top = Mlp.create([inter_dim, *top_sizes, 1], rng=rng)
+        return cls(bottom_mlp=bottom, tables=tables, top_mlp=top)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.tables[0].shape[1]
+
+    def forward(self, dense: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Full forward pass.
+
+        Args:
+            dense: ``(batch, dense_dim)``.
+            indices: ``(num_tables, batch, pooling)`` row ids.
+
+        Returns:
+            ``(batch,)`` click-through probabilities.
+        """
+        if indices.shape[0] != self.num_tables:
+            raise ValueError(
+                f"expected {self.num_tables} index tables, got "
+                f"{indices.shape[0]}")
+        if dense.shape[0] != indices.shape[1]:
+            raise ValueError("dense/categorical batch mismatch")
+        bottom_out = self.bottom_mlp(dense)                  # (B, dim)
+        pooled = np.stack(
+            [embedding_pooling(t, idx, mode=self.pooling_mode)
+             for t, idx in zip(self.tables, indices)], axis=1)  # (B, T, dim)
+        feats = interaction(bottom_out, pooled)
+        logit = self.top_mlp(feats)[:, 0]
+        return sigmoid(logit)
+
+    __call__ = forward

@@ -1,0 +1,109 @@
+"""Expert-parallel Mixture-of-Experts layer (top-k gating).
+
+One expert FFN per GPU; a gating function routes each token to its top-k
+experts (All-to-All dispatch), experts run their GEMMs, and the combine
+All-to-All returns weighted outputs to the tokens' source ranks — the
+collective the fused GEMM + All-to-All operator targets.  The paper
+evaluates top-2 routing with uniform expert load; :meth:`MoeLayer.gemm_config`
+maps the per-expert GEMM onto the fused operator's workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..fused.gemm_alltoall import GemmA2AConfig
+from .configs import MoeLayerConfig
+
+__all__ = ["MoeLayer", "top_k_gating"]
+
+
+def top_k_gating(logits: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-k softmax gating.
+
+    Args:
+        logits: ``(tokens, experts)`` router scores.
+
+    Returns:
+        (indices ``(tokens, k)``, weights ``(tokens, k)`` summing to 1).
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got {logits.shape}")
+    if not (1 <= k <= logits.shape[1]):
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} experts")
+    idx = np.argsort(-logits, axis=1)[:, :k]
+    top = np.take_along_axis(logits, idx, axis=1)
+    top = top - top.max(axis=1, keepdims=True)
+    w = np.exp(top)
+    w /= w.sum(axis=1, keepdims=True)
+    return idx, w.astype(np.float32)
+
+
+@dataclass
+class MoeLayer:
+    """An expert-parallel MoE layer: one (single-matrix) expert per rank."""
+
+    expert_weights: List[np.ndarray]   #: per-expert (model_dim, ffn_dim)
+    router: np.ndarray                 #: (model_dim, experts)
+    top_k: int = 2
+
+    @classmethod
+    def create(cls, cfg: MoeLayerConfig,
+               rng: Optional[np.random.Generator] = None) -> "MoeLayer":
+        cfg.validate()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(cfg.model_dim)
+        experts = [(rng.standard_normal((cfg.model_dim, cfg.ffn_dim)) * scale)
+                   .astype(np.float32) for _ in range(cfg.num_experts)]
+        router = (rng.standard_normal((cfg.model_dim, cfg.num_experts))
+                  * scale).astype(np.float32)
+        return cls(expert_weights=experts, router=router, top_k=cfg.top_k)
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.expert_weights)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Reference forward pass (dense equivalent of dispatch/combine).
+
+        Args:
+            x: ``(tokens, model_dim)``.
+
+        Returns:
+            ``(tokens, ffn_dim)`` gate-weighted expert outputs.
+        """
+        if x.ndim != 2 or x.shape[1] != self.router.shape[0]:
+            raise ValueError(f"bad input shape {x.shape}")
+        idx, w = top_k_gating(x @ self.router, self.top_k)
+        out = np.zeros((x.shape[0], self.expert_weights[0].shape[1]),
+                       np.float32)
+        for e in range(self.num_experts):
+            mask = (idx == e)
+            rows = mask.any(axis=1)
+            if not rows.any():
+                continue
+            weight = (w * mask).sum(axis=1)[rows, None]
+            out[rows] += weight * (x[rows] @ self.expert_weights[e])
+        return out
+
+    __call__ = forward
+
+    def dispatch_counts(self, x: np.ndarray) -> np.ndarray:
+        """Tokens routed to each expert (load-balance diagnostics)."""
+        idx, _w = top_k_gating(x @ self.router, self.top_k)
+        return np.bincount(idx.ravel(), minlength=self.num_experts)
+
+    # -- mapping onto the fused operator ----------------------------------------
+    def gemm_config(self, tokens_per_expert: int,
+                    functional: bool = False,
+                    block_m: int = 64, block_n: int = 128) -> GemmA2AConfig:
+        """Per-expert combine GEMM workload (uniform top-k load, as the
+        paper assumes)."""
+        return GemmA2AConfig(
+            tokens=tokens_per_expert,
+            model_dim=self.expert_weights[0].shape[0],
+            ffn_dim=self.expert_weights[0].shape[1],
+            block_m=block_m, block_n=block_n, functional=functional)

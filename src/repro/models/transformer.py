@@ -1,0 +1,80 @@
+"""Megatron-style tensor-parallel transformer feed-forward block.
+
+The paper's Fig. 3 workload: ``W0`` is partitioned column-wise, ``W1``
+row-wise; each rank computes ``gelu(x @ W0_r) @ W1_r`` and an AllReduce
+sums the partial outputs.  The decode (token) phase processes one token, so
+the second layer is a GEMV — the operand of the fused GEMV + AllReduce
+operator.  :meth:`TensorParallelMlp.gemv_config` maps the block onto that
+operator's workload description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..fused.gemv_allreduce import GemvAllReduceConfig
+from ..ops.activation import gelu
+from .configs import TransformerMlpConfig
+
+__all__ = ["TensorParallelMlp"]
+
+
+@dataclass
+class TensorParallelMlp:
+    """One FFN block sharded across ``world`` tensor-parallel ranks."""
+
+    w0_shards: List[np.ndarray]   #: per-rank (hidden, ffn/world)
+    w1_shards: List[np.ndarray]   #: per-rank (ffn/world, hidden)
+
+    @classmethod
+    def create(cls, cfg: TransformerMlpConfig,
+               rng: Optional[np.random.Generator] = None
+               ) -> "TensorParallelMlp":
+        cfg.validate()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        cols = cfg.shard_columns()
+        scale0 = 1.0 / np.sqrt(cfg.hidden)
+        scale1 = 1.0 / np.sqrt(cfg.ffn)
+        w0 = [(rng.standard_normal((cfg.hidden, cols)) * scale0)
+              .astype(np.float32) for _ in range(cfg.tensor_parallel)]
+        w1 = [(rng.standard_normal((cols, cfg.hidden)) * scale1)
+              .astype(np.float32) for _ in range(cfg.tensor_parallel)]
+        return cls(w0_shards=w0, w1_shards=w1)
+
+    @property
+    def world(self) -> int:
+        return len(self.w0_shards)
+
+    @property
+    def hidden(self) -> int:
+        return self.w0_shards[0].shape[0]
+
+    # -- functional ---------------------------------------------------------
+    def partial_output(self, rank: int, x: np.ndarray) -> np.ndarray:
+        """Rank-local computation: ``gelu(x @ W0_r) @ W1_r``."""
+        h = gelu(x @ self.w0_shards[rank])
+        return h @ self.w1_shards[rank]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Reference forward: AllReduce of the per-rank partials."""
+        return np.sum(np.stack([self.partial_output(r, x)
+                                for r in range(self.world)]), axis=0)
+
+    __call__ = forward
+
+    # -- mapping onto the fused operator -----------------------------------------
+    def gemv_config(self, tile_rows: int = 16,
+                    functional: bool = False) -> GemvAllReduceConfig:
+        """Decode-phase second-layer GEMV + AllReduce workload.
+
+        One token: the first layer's activation ``h`` is local to each
+        rank; the second layer is ``W1_r.T``-style GEMV producing the
+        hidden-sized partial that the AllReduce sums — M = hidden,
+        N per GPU = ffn/world.
+        """
+        return GemvAllReduceConfig(
+            m=self.hidden, n_per_gpu=self.w1_shards[0].shape[0],
+            tile_rows=tile_rows, functional=functional)

@@ -1,0 +1,31 @@
+"""Functional + costed operators used by workloads and fused kernels."""
+
+from .activation import ACTIVATIONS, elementwise_cost, gelu, relu, sigmoid
+from .embedding import embedding_pooling, embedding_table_bytes, embedding_wg_cost
+from .gemm import gemm, gemm_tile_grid, gemm_wg_cost
+from .gemv import gemv, gemv_wg_cost, split_tiles
+from .interaction import interaction, interaction_output_dim, interaction_wg_cost
+from .mlp import Mlp, mlp_flops, mlp_time_on_gpu
+
+__all__ = [
+    "ACTIVATIONS",
+    "Mlp",
+    "elementwise_cost",
+    "embedding_pooling",
+    "embedding_table_bytes",
+    "embedding_wg_cost",
+    "gelu",
+    "gemm",
+    "gemm_tile_grid",
+    "gemm_wg_cost",
+    "gemv",
+    "gemv_wg_cost",
+    "interaction",
+    "interaction_output_dim",
+    "interaction_wg_cost",
+    "mlp_flops",
+    "mlp_time_on_gpu",
+    "relu",
+    "sigmoid",
+    "split_tiles",
+]

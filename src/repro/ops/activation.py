@@ -1,0 +1,42 @@
+"""Element-wise activations with their (bandwidth-bound) cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..hw.gpu import WgCost
+
+__all__ = ["relu", "gelu", "sigmoid", "elementwise_cost", "ACTIVATIONS"]
+
+
+def relu(x: NDArray) -> NDArray:
+    return np.maximum(x, 0)
+
+
+def gelu(x: NDArray) -> NDArray:
+    """Tanh-approximation GELU (the form transformer MLPs use)."""
+    c = np.sqrt(2.0 / np.pi).astype(x.dtype) if hasattr(x, "dtype") else 0.7978845608
+    x3 = x * x * x
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x3)))
+
+
+def sigmoid(x: NDArray) -> NDArray:
+    out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float32))
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype)
+
+
+ACTIVATIONS = {"relu": relu, "gelu": gelu, "sigmoid": sigmoid, "none": lambda x: x}
+
+
+def elementwise_cost(n_elems: int, itemsize: int = 4,
+                     flops_per_elem: float = 1.0) -> WgCost:
+    """Read + write every element once; a few FLOPs each."""
+    if n_elems < 0:
+        raise ValueError("n_elems must be >= 0")
+    return WgCost(flops=flops_per_elem * n_elems,
+                  bytes=2.0 * n_elems * itemsize, dtype="fp32")

@@ -1,0 +1,60 @@
+"""DLRM feature-interaction operator.
+
+After the All-to-All, every rank holds its local batch's embedding vectors
+from *all* tables plus the bottom-MLP output; the interaction op takes all
+pairwise dot products between these feature vectors and concatenates them
+with the dense feature (Naumov et al., 2019).  This is the consumer of the
+fused embedding + All-to-All output layout ``{local batch,
+num_features x dim}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.gpu import WgCost
+
+__all__ = ["interaction", "interaction_wg_cost", "interaction_output_dim"]
+
+
+def interaction(dense: np.ndarray, embeddings: np.ndarray) -> np.ndarray:
+    """Pairwise dot-product interaction.
+
+    Args:
+        dense: ``(batch, dim)`` bottom-MLP output.
+        embeddings: ``(batch, num_features, dim)`` pooled embeddings.
+
+    Returns:
+        ``(batch, dim + F*(F+1)//2)`` where ``F = num_features + 1``
+        (the dense vector participates as a feature, upper triangle
+        excluding the diagonal plus the dense passthrough).
+    """
+    if dense.ndim != 2:
+        raise ValueError(f"dense must be 2-D, got {dense.shape}")
+    if embeddings.ndim != 3:
+        raise ValueError(f"embeddings must be 3-D, got {embeddings.shape}")
+    if dense.shape[0] != embeddings.shape[0]:
+        raise ValueError("batch mismatch between dense and embeddings")
+    if dense.shape[1] != embeddings.shape[2]:
+        raise ValueError("dim mismatch between dense and embeddings")
+    feats = np.concatenate([dense[:, None, :], embeddings], axis=1)
+    gram = np.einsum("bfd,bgd->bfg", feats, feats)
+    f = feats.shape[1]
+    iu = np.triu_indices(f, k=1)
+    pairs = gram[:, iu[0], iu[1]]
+    return np.concatenate([dense, pairs], axis=1).astype(dense.dtype)
+
+
+def interaction_output_dim(num_features: int, dim: int) -> int:
+    """Output width of :func:`interaction` (F includes the dense vector)."""
+    f = num_features + 1
+    return dim + f * (f - 1) // 2
+
+
+def interaction_wg_cost(num_features: int, dim: int,
+                        itemsize: int = 4) -> WgCost:
+    """Cost of one logical WG handling one batch element's interaction."""
+    f = num_features + 1
+    flops = float(f * f * dim)  # gram matrix
+    bytes_moved = float((f * dim + f * (f - 1) // 2 + dim) * itemsize)
+    return WgCost(flops=flops, bytes=bytes_moved, dtype="fp32")

@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation core."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import FairShareLink, FifoChannel, Mailbox, Resource
+from .trace import Span, TraceEvent, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FairShareLink",
+    "FifoChannel",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Span",
+    "Timeout",
+    "TraceEvent",
+    "TraceRecorder",
+]

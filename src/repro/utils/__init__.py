@@ -1,0 +1,11 @@
+"""Small shared helpers (units, validation)."""
+
+from .units import (
+    GB, GB_PER_S, GBIT_PER_S, GIB, KB, KIB, MB, MIB, MS, NS, US,
+    fmt_bytes, fmt_time,
+)
+
+__all__ = [
+    "GB", "GB_PER_S", "GBIT_PER_S", "GIB", "KB", "KIB", "MB", "MIB",
+    "MS", "NS", "US", "fmt_bytes", "fmt_time",
+]

@@ -1,0 +1,76 @@
+"""Tests for analytic collective cost models."""
+
+import pytest
+
+from repro.comm import (
+    allgather_time,
+    alltoall_time,
+    direct_allreduce_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+    ring_schedule,
+)
+
+
+def test_ring_allreduce_formula():
+    # 2(p-1) steps of (n/p)/B + L
+    t = ring_allreduce_time(nbytes=8e6, world=4, bandwidth=1e9, latency=1e-6)
+    assert t == pytest.approx(6 * (2e6 / 1e9 + 1e-6))
+
+
+def test_ring_allreduce_world_one_is_free():
+    assert ring_allreduce_time(1e9, 1, 1e9) == 0.0
+
+
+def test_direct_allreduce_beats_ring_on_fully_connected():
+    """The paper picks the two-phase direct algorithm for scale-up because
+    it has the fewest steps."""
+    n, p, bw = 64e6, 4, 80e9
+    assert direct_allreduce_time(n, p, bw) < ring_allreduce_time(n, p, bw)
+
+
+def test_direct_allreduce_formula():
+    t = direct_allreduce_time(nbytes=4e6, world=4, bandwidth=1e9, latency=0.0)
+    assert t == pytest.approx(2 * (4e6 * 3 / (4 * 1e9)))
+
+
+def test_alltoall_single_port_vs_full_fanout():
+    slow = alltoall_time(4e6, world=4, bandwidth=1e9, links_per_rank=1)
+    fast = alltoall_time(4e6, world=4, bandwidth=1e9, links_per_rank=3)
+    assert slow == pytest.approx(3 * 1e6 / 1e9)
+    assert fast == pytest.approx(1e6 / 1e9)
+
+
+def test_allgather_and_reduce_scatter_are_duals():
+    n, p, bw = 8e6, 8, 1e9
+    assert allgather_time(n / p, p, bw) == pytest.approx(
+        reduce_scatter_time(n, p, bw))
+
+
+def test_ring_schedule_structure():
+    sched = ring_schedule(4)
+    assert len(sched) == 3
+    for step in sched:
+        srcs = [s for s, _d in step]
+        dsts = [d for _s, d in step]
+        assert sorted(srcs) == [0, 1, 2, 3]
+        assert sorted(dsts) == [0, 1, 2, 3]
+        for s, d in step:
+            assert d == (s + 1) % 4
+    assert ring_schedule(1) == []
+
+
+@pytest.mark.parametrize("fn", [ring_allreduce_time, direct_allreduce_time,
+                                allgather_time, reduce_scatter_time])
+def test_validation(fn):
+    with pytest.raises(ValueError):
+        fn(-1.0, 4, 1e9)
+    with pytest.raises(ValueError):
+        fn(1.0, 0, 1e9)
+    with pytest.raises(ValueError):
+        fn(1.0, 4, 0.0)
+
+
+def test_alltoall_validation():
+    with pytest.raises(ValueError):
+        alltoall_time(1.0, 4, 1e9, links_per_rank=0)

@@ -1,0 +1,125 @@
+"""Tests for the symmetric heap allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import HeapError, SymmetricHeap
+
+
+def test_alloc_same_offset_all_ranks():
+    heap = SymmetricHeap(world_size=4, capacity=1 << 20)
+    buf = heap.alloc((8, 8), np.float32)
+    assert buf.world_size == 4
+    for r in range(4):
+        assert buf.local(r).shape == (8, 8)
+        assert buf.local(r).dtype == np.float32
+
+
+def test_ranks_have_independent_storage():
+    heap = SymmetricHeap(world_size=2, capacity=1 << 20)
+    buf = heap.alloc((4,), np.float64)
+    buf.local(0)[:] = 1.0
+    assert np.all(buf.local(1) == 0.0)
+
+
+def test_offsets_distinct_and_aligned():
+    heap = SymmetricHeap(world_size=1, capacity=1 << 20, alignment=256)
+    a = heap.alloc((3,), np.float32)   # 12 bytes -> one 256B granule
+    b = heap.alloc((3,), np.float32)
+    assert a.offset != b.offset
+    assert a.offset % 256 == 0 and b.offset % 256 == 0
+
+
+def test_nbytes_property():
+    heap = SymmetricHeap(world_size=1, capacity=1 << 20)
+    buf = heap.alloc((10, 10), np.float32)
+    assert buf.nbytes == 400
+
+
+def test_scalar_shape():
+    heap = SymmetricHeap(world_size=1, capacity=1 << 20)
+    buf = heap.alloc(16, np.int32)
+    assert buf.shape == (16,)
+
+
+def test_capacity_exhaustion():
+    heap = SymmetricHeap(world_size=1, capacity=1024, alignment=256)
+    heap.alloc((128,), np.float64)  # 1024 bytes
+    with pytest.raises(HeapError, match="exhausted"):
+        heap.alloc((1,), np.float32)
+
+
+def test_free_and_reuse():
+    heap = SymmetricHeap(world_size=1, capacity=1024, alignment=256)
+    a = heap.alloc((128,), np.float64)
+    a.free()
+    b = heap.alloc((128,), np.float64)  # fits again
+    assert b.offset == 0
+    assert heap.live_buffers == 1
+
+
+def test_double_free_raises():
+    heap = SymmetricHeap(world_size=1, capacity=1 << 20)
+    a = heap.alloc((4,))
+    a.free()
+    with pytest.raises(HeapError, match="double free"):
+        a.free()
+
+
+def test_use_after_free_raises():
+    heap = SymmetricHeap(world_size=2, capacity=1 << 20)
+    a = heap.alloc((4,))
+    a.free()
+    with pytest.raises(HeapError, match="freed"):
+        a.local(0)
+
+
+def test_coalescing_allows_big_realloc():
+    heap = SymmetricHeap(world_size=1, capacity=4096, alignment=256)
+    bufs = [heap.alloc((256,), np.float32) for _ in range(4)]  # 4x1024
+    for b in bufs:
+        b.free()
+    big = heap.alloc((1024,), np.float32)  # needs full 4096 contiguous
+    assert big.offset == 0
+
+
+def test_fill_helper():
+    heap = SymmetricHeap(world_size=3, capacity=1 << 20)
+    buf = heap.alloc((5,), np.float32)
+    buf.fill(7.0)
+    for r in range(3):
+        assert np.all(buf.local(r) == 7.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        SymmetricHeap(world_size=0)
+    with pytest.raises(ValueError):
+        SymmetricHeap(world_size=1, capacity=0)
+    with pytest.raises(ValueError):
+        SymmetricHeap(world_size=1, alignment=3)
+    heap = SymmetricHeap(world_size=1, capacity=1 << 20)
+    with pytest.raises(ValueError):
+        heap.alloc((-1,))
+
+
+@given(st.lists(st.tuples(st.integers(1, 64), st.booleans()),
+                min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_allocator_accounting_invariant(ops):
+    """used == sum of live aligned sizes after any alloc/free sequence."""
+    heap = SymmetricHeap(world_size=1, capacity=1 << 22, alignment=256)
+    live = []
+    for n, do_free in ops:
+        if do_free and live:
+            live.pop().free()
+        else:
+            live.append(heap.alloc((n,), np.float64))
+    expected = sum(max(-(-b.nbytes // 256) * 256, 256) for b in live)
+    assert heap.used == expected
+    assert heap.live_buffers == len(live)
+    for b in list(live):
+        b.free()
+    assert heap.used == 0

@@ -1,0 +1,96 @@
+"""Cross-checks: Triton-recorded costs vs the analytic cost models.
+
+The fused GEMM operator *times* tiles with the analytic
+:func:`repro.ops.gemm.gemm_wg_cost`; the tile program *records* what it
+actually loaded/stored/multiplied.  These tests pin the two together so the
+cost model cannot silently drift from the executed dataflow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.triton import jit, tl
+from repro.fused.base import OpHarness
+from repro.fused.gemm_alltoall import FusedGemmAllToAll, GemmA2AConfig, \
+    gemm_a2a_kernel, make_gemm_inputs
+from repro.ops.gemm import gemm_wg_cost
+
+
+def test_recorded_flops_match_analytic_gemm_cost():
+    cfg = GemmA2AConfig(tokens=256, model_dim=64, ffn_dim=256,
+                        block_m=64, block_n=128)
+    world = 4
+    acts, weights = make_gemm_inputs(cfg, world)
+
+    class _NullBuf:
+        def local(self, rank):
+            return None
+
+    # Run one instance through the interpreter-style API.
+    report_ctx = gemm_a2a_kernel.run_instance(
+        (cfg.tokens // cfg.block_m, cfg.ffn_dim // cfg.block_n), (0, 0),
+        acts[0], weights[0], None, 0, cfg.tokens_per_src(world),
+        cfg.block_m, cfg.block_n, cfg.tile_wire_bytes())
+    analytic = gemm_wg_cost(cfg.block_m, cfg.block_n, cfg.model_dim,
+                            itemsize=4)  # functional payloads are fp32
+    assert report_ctx.flops == pytest.approx(analytic.flops)
+    # Recorded bytes: A tile + B tile loads (the analytic model adds the C
+    # write, which goes through put_tile here).
+    expected_loads = (cfg.block_m * cfg.model_dim
+                      + cfg.model_dim * cfg.block_n) * 4
+    assert report_ctx.bytes == pytest.approx(expected_loads)
+    assert len(report_ctx.comm_actions) == 1
+
+
+def test_every_instance_emits_exactly_one_put():
+    cfg = GemmA2AConfig(tokens=256, model_dim=32, ffn_dim=128,
+                        block_m=64, block_n=128)
+    h = OpHarness(1, 4)
+    op = FusedGemmAllToAll(h, cfg)
+    h.run(op)
+    grid = (cfg.tokens // cfg.block_m, cfg.ffn_dim // cfg.block_n)
+    # world ranks x all tiles, one wire put per tile plus one flag per
+    # (src, dst) pair.
+    n_tiles = grid[0] * grid[1]
+    total_puts = sum(h.comm.ctx(r).puts_issued for r in range(4))
+    assert total_puts == 4 * n_tiles + 4 * 4  # tiles + tileRdy flags
+
+
+@jit
+def double_dot(a, b):
+    x = tl.dot(a, b)
+    y = tl.dot(a, b)
+    return None
+
+
+def test_recorder_accumulates_across_ops():
+    a = np.ones((2, 3), np.float32)
+    b = np.ones((3, 4), np.float32)
+    ctx = double_dot.run_instance((1,), (0,), a, b)
+    assert ctx.flops == 2 * (2 * 2 * 3 * 4)
+
+
+def test_interpret_is_deterministic():
+    cfg = GemmA2AConfig(tokens=128, model_dim=16, ffn_dim=128,
+                        block_m=32, block_n=128)
+    acts, weights = make_gemm_inputs(cfg, 4)
+
+    from repro.comm import Communicator
+    from repro.hw import build_cluster
+    from repro.sim import Simulator
+
+    outs = []
+    for _ in range(2):
+        comm = Communicator(build_cluster(Simulator(), 1, 4))
+        buf = comm.alloc((4, cfg.tokens_per_src(4), cfg.ffn_dim), np.float32)
+
+        class View:
+            def local(self, rank):
+                return buf.local(rank)
+
+        gemm_a2a_kernel.interpret(
+            (cfg.tokens // cfg.block_m, cfg.ffn_dim // cfg.block_n),
+            acts[0], weights[0], View(), 0, cfg.tokens_per_src(4),
+            cfg.block_m, cfg.block_n, cfg.tile_wire_bytes())
+        outs.append(buf.local(1).copy())
+    np.testing.assert_array_equal(outs[0], outs[1])

@@ -1,0 +1,174 @@
+"""Edge cases and cross-checks for the fused operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fused import (
+    BaselineEmbeddingAllToAll,
+    BaselineGemvAllReduce,
+    EmbeddingA2AConfig,
+    FusedEmbeddingAllToAll,
+    FusedGemvAllReduce,
+    GemvAllReduceConfig,
+    OpHarness,
+)
+from repro.fused.embedding_alltoall import make_embedding_inputs, \
+    reference_output
+
+
+# ---------------------------------------------------------------------------
+# Embedding + A2A edge cases
+# ---------------------------------------------------------------------------
+
+def test_single_table_per_gpu():
+    cfg = EmbeddingA2AConfig(global_batch=32, tables_per_gpu=1, dim=8,
+                             pooling=3, rows_per_table=20, slice_vectors=4)
+    h = OpHarness(num_nodes=2, gpus_per_node=1)
+    res = h.run(FusedEmbeddingAllToAll(h, cfg))
+    tables, indices = make_embedding_inputs(cfg, 2)
+    ref = reference_output(cfg, 2, tables, indices)
+    np.testing.assert_allclose(res.outputs[0], ref[0], rtol=1e-5)
+
+
+def test_slice_equals_local_batch():
+    """One slice per (table, destination) stripe — the coarsest legal
+    granularity."""
+    cfg = EmbeddingA2AConfig(global_batch=32, tables_per_gpu=2, dim=8,
+                             pooling=3, rows_per_table=20, slice_vectors=16)
+    h = OpHarness(num_nodes=2, gpus_per_node=1)
+    res = h.run(FusedEmbeddingAllToAll(h, cfg))
+    tables, indices = make_embedding_inputs(cfg, 2)
+    ref = reference_output(cfg, 2, tables, indices)
+    np.testing.assert_allclose(res.outputs[1], ref[1], rtol=1e-5)
+
+
+def test_pooling_of_one_row():
+    cfg = EmbeddingA2AConfig(global_batch=16, tables_per_gpu=2, dim=4,
+                             pooling=1, rows_per_table=10, slice_vectors=8)
+    h = OpHarness(num_nodes=2, gpus_per_node=1)
+    res = h.run(FusedEmbeddingAllToAll(h, cfg))
+    assert res.outputs[0].shape == (8, 4, 4)
+
+
+def test_zero_copy_flag_does_not_change_functional_result():
+    outs = {}
+    for zc in (True, False):
+        cfg = EmbeddingA2AConfig(global_batch=32, tables_per_gpu=2, dim=8,
+                                 pooling=3, rows_per_table=20,
+                                 slice_vectors=8, zero_copy=zc)
+        h = OpHarness(num_nodes=1, gpus_per_node=4)
+        outs[zc] = h.run(FusedEmbeddingAllToAll(h, cfg)).outputs
+    for a, b in zip(outs[True], outs[False]):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_zero_copy_off_is_slower_intranode():
+    times = {}
+    for zc in (True, False):
+        cfg = EmbeddingA2AConfig(global_batch=1024, tables_per_gpu=64,
+                                 functional=False, zero_copy=zc)
+        h = OpHarness(num_nodes=1, gpus_per_node=4)
+        times[zc] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
+    assert times[True] < times[False]
+
+
+def test_zero_copy_irrelevant_internode():
+    """Zero-copy only applies to same-node destinations; on a 2x1 cluster
+    the flag must not change timing."""
+    times = {}
+    for zc in (True, False):
+        cfg = EmbeddingA2AConfig(global_batch=256, tables_per_gpu=16,
+                                 functional=False, zero_copy=zc)
+        h = OpHarness(num_nodes=2, gpus_per_node=1)
+        times[zc] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
+    assert times[True] == pytest.approx(times[False], rel=1e-12)
+
+
+def test_hybrid_cluster_two_nodes_two_gpus():
+    """Mixed fabric + RDMA destinations in one kernel (2 nodes x 2 GPUs)."""
+    cfg = EmbeddingA2AConfig(global_batch=64, tables_per_gpu=2, dim=8,
+                             pooling=3, rows_per_table=20, slice_vectors=8)
+    h = OpHarness(num_nodes=2, gpus_per_node=2)
+    res = h.run(FusedEmbeddingAllToAll(h, cfg))
+    tables, indices = make_embedding_inputs(cfg, 4)
+    ref = reference_output(cfg, 4, tables, indices)
+    for r in range(4):
+        np.testing.assert_allclose(res.outputs[r], ref[r], rtol=1e-5)
+
+
+@given(world_shape=st.sampled_from([(2, 1), (1, 2), (1, 4), (2, 2)]),
+       tables=st.integers(1, 4), seed=st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_fused_equals_baseline_for_random_configs(world_shape, tables, seed):
+    nodes, gpn = world_shape
+    world = nodes * gpn
+    cfg = EmbeddingA2AConfig(global_batch=16 * world, tables_per_gpu=tables,
+                             dim=8, pooling=3, rows_per_table=25,
+                             slice_vectors=8, seed=seed)
+    h1 = OpHarness(num_nodes=nodes, gpus_per_node=gpn)
+    fused = h1.run(FusedEmbeddingAllToAll(h1, cfg))
+    h2 = OpHarness(num_nodes=nodes, gpus_per_node=gpn)
+    base = h2.run(BaselineEmbeddingAllToAll(h2, cfg))
+    for f, b in zip(fused.outputs, base.outputs):
+        np.testing.assert_allclose(f, b, rtol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# GEMV + AllReduce edge cases
+# ---------------------------------------------------------------------------
+
+def test_gemv_two_gpus_minimum_chunking():
+    cfg = GemvAllReduceConfig(m=64, n_per_gpu=16, tile_rows=16)
+    h = OpHarness(num_nodes=1, gpus_per_node=2)
+    res = h.run(FusedGemvAllReduce(h, cfg))
+    from repro.fused.gemv_allreduce import make_gemv_inputs, reference_output
+
+    mats, vecs = make_gemv_inputs(cfg, 2)
+    ref = reference_output(mats, vecs)
+    np.testing.assert_allclose(res.outputs[0], ref, rtol=1e-4)
+
+
+def test_gemv_single_tile_per_chunk():
+    cfg = GemvAllReduceConfig(m=64, n_per_gpu=8, tile_rows=16)
+    h = OpHarness(num_nodes=1, gpus_per_node=4)
+    res = h.run(FusedGemvAllReduce(h, cfg))
+    assert res.outputs[0].shape == (64,)
+
+
+@given(m_chunks=st.integers(1, 8), n=st.integers(8, 128),
+       seed=st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_gemv_fused_equals_baseline_random(m_chunks, n, seed):
+    world = 4
+    cfg = GemvAllReduceConfig(m=world * 16 * m_chunks, n_per_gpu=n,
+                              tile_rows=16, seed=seed)
+    h1 = OpHarness(num_nodes=1, gpus_per_node=world)
+    fused = h1.run(FusedGemvAllReduce(h1, cfg))
+    h2 = OpHarness(num_nodes=1, gpus_per_node=world)
+    base = h2.run(BaselineGemvAllReduce(h2, cfg))
+    for f, b in zip(fused.outputs, base.outputs):
+        np.testing.assert_allclose(f, b, rtol=1e-3, atol=1e-4)
+
+
+def test_oblivious_gemv_still_correct():
+    cfg = GemvAllReduceConfig(m=128, n_per_gpu=32, tile_rows=16,
+                              scheduler="oblivious")
+    h = OpHarness(num_nodes=1, gpus_per_node=4)
+    res = h.run(FusedGemvAllReduce(h, cfg))
+    from repro.fused.gemv_allreduce import make_gemv_inputs, reference_output
+
+    mats, vecs = make_gemv_inputs(cfg, 4)
+    np.testing.assert_allclose(res.outputs[2], reference_output(mats, vecs),
+                               rtol=1e-4)
+
+
+def test_gemv_comm_aware_not_slower_than_oblivious():
+    times = {}
+    for sched in ("comm_aware", "oblivious"):
+        cfg = GemvAllReduceConfig(m=16384, n_per_gpu=4096,
+                                  functional=False, scheduler=sched)
+        h = OpHarness(num_nodes=1, gpus_per_node=4)
+        times[sched] = h.run(FusedGemvAllReduce(h, cfg)).elapsed
+    assert times["comm_aware"] <= times["oblivious"] * (1 + 1e-9)

@@ -1,0 +1,146 @@
+"""Property-based tests for hardware-model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import MI210, Gpu, HbmModel, KernelResources, WgCost, \
+    build_cluster
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def gpu():
+    return Gpu(Simulator(), MI210, gpu_id=0)
+
+
+# ---------------------------------------------------------------------------
+# Occupancy monotonicity
+# ---------------------------------------------------------------------------
+
+@given(vgprs=st.integers(16, 128), threads=st.sampled_from([64, 128, 256, 512]))
+@settings(max_examples=60, deadline=None)
+def test_more_vgprs_never_raise_occupancy(vgprs, threads):
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ_a = gpu.occupancy(KernelResources(threads, vgprs))
+    occ_b = gpu.occupancy(KernelResources(threads, vgprs + 8))
+    assert occ_b.fraction <= occ_a.fraction + 1e-12
+    assert occ_b.resident_wgs <= occ_a.resident_wgs
+
+
+@given(lds=st.integers(0, 64 * 1024), threads=st.sampled_from([64, 256]))
+@settings(max_examples=40, deadline=None)
+def test_more_lds_never_raises_occupancy(lds, threads):
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ_a = gpu.occupancy(KernelResources(threads, 32, lds_per_wg=lds))
+    occ_b = gpu.occupancy(KernelResources(threads, 32,
+                                          lds_per_wg=min(lds + 1024,
+                                                         64 * 1024)))
+    assert occ_b.resident_wgs <= occ_a.resident_wgs
+
+
+@given(threads=st.integers(1, 1024), vgprs=st.integers(1, 256))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_fraction_bounded(threads, vgprs):
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    try:
+        occ = gpu.occupancy(KernelResources(threads, vgprs))
+    except ValueError:
+        return  # kernel doesn't fit: acceptable rejection
+    assert 0.0 < occ.fraction <= 1.0
+    assert occ.resident_wgs >= MI210.num_cus  # at least 1 WG per CU
+
+
+# ---------------------------------------------------------------------------
+# HBM model shape
+# ---------------------------------------------------------------------------
+
+@given(o=st.floats(0.0, 1.0), access=st.sampled_from(["stream", "gather"]))
+@settings(max_examples=60, deadline=None)
+def test_achieved_bandwidth_within_physical_bounds(o, access):
+    hbm = HbmModel(MI210)
+    bw = hbm.achieved_bandwidth(o, access=access)
+    assert 0.0 <= bw <= MI210.hbm_bandwidth + 1e-3
+
+
+@given(o=st.floats(0.01, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_gather_never_exceeds_stream_bandwidth(o):
+    hbm = HbmModel(MI210)
+    assert (hbm.achieved_bandwidth(o, access="gather")
+            <= hbm.achieved_bandwidth(o, access="stream") + 1e-6)
+
+
+def test_stream_bandwidth_monotone_in_occupancy():
+    hbm = HbmModel(MI210)
+    samples = [i / 100 for i in range(1, 101)]
+    bws = [hbm.achieved_bandwidth(o, access="stream") for o in samples]
+    assert all(b2 >= b1 - 1e-6 for b1, b2 in zip(bws, bws[1:]))
+
+
+def test_unknown_access_pattern_rejected():
+    hbm = HbmModel(MI210)
+    with pytest.raises(ValueError):
+        hbm.achieved_bandwidth(0.5, access="random")
+    with pytest.raises(ValueError):
+        WgCost(bytes=1.0, access="random")
+
+
+# ---------------------------------------------------------------------------
+# WG timing monotonicity
+# ---------------------------------------------------------------------------
+
+@given(b1=st.floats(1.0, 1e8), b2=st.floats(1.0, 1e8))
+@settings(max_examples=40, deadline=None)
+def test_wg_duration_monotone_in_bytes(b1, b2):
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ = gpu.occupancy(KernelResources(256, 64))
+    lo, hi = sorted((b1, b2))
+    assert (gpu.wg_duration(WgCost(bytes=lo), occ)
+            <= gpu.wg_duration(WgCost(bytes=hi), occ) + 1e-18)
+
+
+@given(f1=st.floats(1.0, 1e12), f2=st.floats(1.0, 1e12))
+@settings(max_examples=40, deadline=None)
+def test_wg_duration_monotone_in_flops(f1, f2):
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ = gpu.occupancy(KernelResources(256, 64))
+    lo, hi = sorted((f1, f2))
+    assert (gpu.wg_duration(WgCost(flops=lo), occ)
+            <= gpu.wg_duration(WgCost(flops=hi), occ) + 1e-18)
+
+
+# ---------------------------------------------------------------------------
+# Cluster-wide byte conservation
+# ---------------------------------------------------------------------------
+
+@given(transfers=st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 1 << 20)),
+    min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_fabric_conserves_bytes(transfers):
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=1, gpus_per_node=4)
+    total = 0.0
+    for src, dst, n in transfers:
+        if src == dst:
+            continue
+        cluster.gpu(src).store_remote(cluster.gpu(dst), float(n))
+        total += n
+    sim.run()
+    assert cluster.nodes[0].fabric.total_bytes() == pytest.approx(total)
+
+
+@given(sizes=st.lists(st.integers(1, 1 << 22), min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_nic_accounts_messages_and_bytes(sizes):
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=1)
+    g0, g1 = cluster.gpus
+    for s in sizes:
+        g0.rdma_put(g1, float(s))
+    sim.run()
+    nic = cluster.nodes[0].nic
+    assert nic.messages == len(sizes)
+    assert nic.bytes == pytest.approx(sum(sizes))
+    assert cluster.network.bytes_delivered == pytest.approx(sum(sizes))

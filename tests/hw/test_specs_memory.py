@@ -1,0 +1,107 @@
+"""Tests for hardware specs and the HBM bandwidth model calibration."""
+
+import pytest
+
+from repro.hw import MI210, HbmModel, mi210_node_spec, two_node_cluster_spec
+from repro.utils.units import GB_PER_S
+
+
+def test_mi210_headline_numbers():
+    assert MI210.num_cus == 104
+    assert MI210.max_waves_per_cu == 32
+    assert MI210.hbm_bandwidth == pytest.approx(1638.4 * GB_PER_S)
+    assert MI210.fp16_flops > MI210.fp32_flops
+
+
+def test_flop_rate_dtype_dispatch():
+    assert MI210.flop_rate("fp32") == MI210.fp32_flops
+    assert MI210.flop_rate("fp16") == MI210.fp16_flops
+    with pytest.raises(ValueError):
+        MI210.flop_rate("int8")
+
+
+def test_spec_override_for_ablation():
+    faster = MI210.with_overrides(hbm_bandwidth=2 * MI210.hbm_bandwidth)
+    assert faster.hbm_bandwidth == 2 * MI210.hbm_bandwidth
+    assert faster.num_cus == MI210.num_cus
+    assert MI210.hbm_bandwidth == pytest.approx(1638.4 * GB_PER_S)  # frozen
+
+
+def test_node_and_cluster_specs():
+    node = mi210_node_spec(4)
+    assert node.num_gpus == 4
+    assert node.link.bandwidth == pytest.approx(80 * GB_PER_S)
+    cl = two_node_cluster_spec()
+    assert cl.num_nodes == 2
+    assert cl.node.nic.bandwidth == pytest.approx(20 * GB_PER_S)
+
+
+# ---------------------------------------------------------------------------
+# HBM model — the Fig. 13 calibration must hold exactly.
+# ---------------------------------------------------------------------------
+
+def test_hbm_efficiency_interpolation():
+    hbm = HbmModel(MI210)
+    assert hbm.efficiency(0.0) == 1.0
+    assert hbm.efficiency(0.5) == 1.0
+    assert hbm.efficiency(0.78) == 1.0
+    assert hbm.efficiency(0.875) == pytest.approx(0.80)
+    assert hbm.efficiency(1.0) == pytest.approx(0.78)
+    # midway between knee points
+    mid = hbm.efficiency((0.78 + 0.875) / 2)
+    assert 0.80 < mid < 1.0
+
+
+def test_hbm_efficiency_clamps_out_of_range():
+    hbm = HbmModel(MI210)
+    assert hbm.efficiency(-1.0) == 1.0
+    assert hbm.efficiency(2.0) == pytest.approx(0.78)
+
+
+def test_hbm_concurrency_ramp():
+    hbm = HbmModel(MI210)
+    assert hbm.concurrency_ramp(0.25) == pytest.approx(0.54)
+    assert hbm.concurrency_ramp(0.75) == 1.0
+    assert hbm.concurrency_ramp(1.0) == 1.0
+
+
+def test_fig13_calibration_46pct_reduction_25_to_75():
+    """Paper: occupancy 25% -> 75% cuts memory-bound time by 46%."""
+    hbm = HbmModel(MI210)
+    t25 = 1.0 / hbm.achieved_bandwidth(0.25, access="gather")
+    t75 = 1.0 / hbm.achieved_bandwidth(0.75, access="gather")
+    assert 1.0 - t75 / t25 == pytest.approx(0.46, abs=0.01)
+
+
+def test_fig13_calibration_25pct_increase_75_to_875():
+    """Paper: occupancy 75% -> 87.5% increases time by 25%."""
+    hbm = HbmModel(MI210)
+    t75 = 1.0 / hbm.achieved_bandwidth(0.75, access="gather")
+    t875 = 1.0 / hbm.achieved_bandwidth(0.875, access="gather")
+    assert t875 / t75 == pytest.approx(1.25, abs=0.01)
+
+
+def test_fused_occupancy_loss_does_not_degrade_memory_rate():
+    """The fused kernel's 87.5% occupancy (efficiency 0.80) and the
+    baseline's 100% (efficiency 0.78) land within ~3% of each other —
+    the paper's 'loss of occupancy does not degrade performance'."""
+    hbm = HbmModel(MI210)
+    ratio = (hbm.achieved_bandwidth(0.875, access="gather")
+             / hbm.achieved_bandwidth(1.0, access="gather"))
+    assert abs(ratio - 1.0) < 0.03
+
+
+def test_best_occupancy_near_75pct():
+    hbm = HbmModel(MI210)
+    best = hbm.best_occupancy()
+    assert 0.46 <= best <= 0.79
+
+
+def test_hbm_model_validates_efficiency_table():
+    bad = MI210.with_overrides(hbm_efficiency=((0.5, 1.0), (1.0, 0.8)))
+    with pytest.raises(ValueError, match="start at occupancy 0"):
+        HbmModel(bad)
+    unsorted = MI210.with_overrides(
+        hbm_efficiency=((0.0, 1.0), (0.9, 0.8), (0.5, 0.9)))
+    with pytest.raises(ValueError, match="increasing"):
+        HbmModel(unsorted)

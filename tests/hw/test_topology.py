@@ -1,0 +1,178 @@
+"""Tests for fabric, NIC, network and cluster construction."""
+
+import pytest
+
+from repro.hw import IB_NIC, IF_LINK, build_cluster, build_node, mi210_node_spec
+from repro.hw.network import Network
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Fabric
+# ---------------------------------------------------------------------------
+
+def test_node_fabric_fully_connected():
+    sim = Simulator()
+    node = build_node(sim, mi210_node_spec(4))
+    links = node.fabric.links()
+    assert len(links) == 4 * 3  # directed pairs
+    for (s, d), link in links.items():
+        assert s != d
+        assert link.bandwidth == IF_LINK.bandwidth
+
+
+def test_fabric_transfer_timing():
+    sim = Simulator()
+    node = build_node(sim, mi210_node_spec(2))
+    g0, g1 = node.gpus
+
+    def proc(sim):
+        yield g0.store_remote(g1, IF_LINK.bandwidth)  # exactly 1 second of bytes
+        return sim.now
+
+    end = sim.run_process(proc(sim))
+    assert end == pytest.approx(1.0 + IF_LINK.latency)
+
+
+def test_fabric_local_transfer_is_free():
+    sim = Simulator()
+    node = build_node(sim, mi210_node_spec(2))
+    g0 = node.gpus[0]
+
+    def proc(sim):
+        yield node.fabric.transfer(g0, g0, 1e9)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_fabric_contention_halves_per_flow_bandwidth():
+    """Two flows on the same directed link take 2x (paper Fig. 9 mechanism)."""
+    sim = Simulator()
+    node = build_node(sim, mi210_node_spec(2))
+    g0, g1 = node.gpus
+    nbytes = IF_LINK.bandwidth  # 1 second solo
+
+    def proc(sim):
+        e1 = g0.store_remote(g1, nbytes)
+        e2 = g0.store_remote(g1, nbytes)
+        yield sim.all_of([e1, e2])
+        return sim.now
+
+    end = sim.run_process(proc(sim))
+    assert end == pytest.approx(2.0 + IF_LINK.latency)
+
+
+def test_fabric_unknown_gpu_rejected():
+    sim = Simulator()
+    node_a = build_node(sim, mi210_node_spec(2), node_id=0, first_gpu_id=0)
+    node_b = build_node(sim, mi210_node_spec(2), node_id=1, first_gpu_id=2)
+    with pytest.raises(KeyError):
+        node_a.fabric.link(node_a.gpus[0], node_b.gpus[0])
+
+
+def test_fabric_byte_accounting():
+    sim = Simulator()
+    node = build_node(sim, mi210_node_spec(2))
+    g0, g1 = node.gpus
+    g0.store_remote(g1, 1000.0)
+    g1.store_remote(g0, 500.0)
+    sim.run()
+    assert node.fabric.total_bytes() == pytest.approx(1500.0)
+
+
+# ---------------------------------------------------------------------------
+# NIC + network
+# ---------------------------------------------------------------------------
+
+def test_rdma_put_crosses_nodes():
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=1)
+    g0, g1 = cluster.gpus
+    nbytes = IB_NIC.bandwidth  # 1 second of payload
+
+    def proc(sim):
+        yield g0.rdma_put(g1, nbytes)
+        return sim.now
+
+    end = sim.run_process(proc(sim))
+    # tx service (payload + message overhead) + rx service + wire latency
+    assert end > 1.0
+    assert end < 3.0 + IB_NIC.latency
+
+
+def test_rdma_put_to_same_node_rejected():
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=2)
+    g0, g1 = cluster.nodes[0].gpus
+    with pytest.raises(ValueError, match="local node"):
+        g0.rdma_put(g1, 10)
+
+
+def test_rdma_bandwidth_charged_once():
+    """A transfer pays size/bandwidth exactly once (cut-through), so two
+    concurrent 0.5s payloads to the same destination share the rx port and
+    both finish at ~1.0s total."""
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=1)
+    g0, g1 = cluster.gpus
+    nbytes = IB_NIC.bandwidth / 2  # 0.5s each
+
+    def proc(sim):
+        e1 = g0.rdma_put(g1, nbytes)
+        e2 = g0.rdma_put(g1, nbytes)
+        yield sim.all_of([e1, e2])
+        return sim.now
+
+    end = sim.run_process(proc(sim))
+    assert end == pytest.approx(1.0, rel=0.01)  # shared port, one charge
+    assert cluster.nodes[0].nic.messages == 2
+
+
+def test_rdma_message_overhead_bounds_message_rate():
+    """Tiny messages are limited by the TX engine's per-message cost."""
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=1)
+    g0, g1 = cluster.gpus
+    n = 100
+
+    def proc(sim):
+        evs = [g0.rdma_put(g1, 8.0) for _ in range(n)]
+        yield sim.all_of(evs)
+        return sim.now
+
+    end = sim.run_process(proc(sim))
+    assert end >= n * IB_NIC.message_overhead
+
+
+def test_network_validates_nodes():
+    sim = Simulator()
+    net = Network(sim, IB_NIC, num_nodes=2)
+    with pytest.raises(ValueError):
+        net.deliver(0, 0, 10)
+    with pytest.raises(ValueError):
+        net.deliver(0, 5, 10)
+    with pytest.raises(ValueError):
+        Network(sim, IB_NIC, num_nodes=0)
+
+
+# ---------------------------------------------------------------------------
+# Cluster
+# ---------------------------------------------------------------------------
+
+def test_cluster_rank_ordering():
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=2, gpus_per_node=4)
+    assert cluster.world_size == 8
+    assert [g.gpu_id for g in cluster.gpus] == list(range(8))
+    assert cluster.gpu(5).node_id == 1
+    assert cluster.gpu(5).local_id == 1
+    assert cluster.same_node(0, 3)
+    assert not cluster.same_node(3, 4)
+
+
+def test_single_node_cluster_has_no_network():
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=1, gpus_per_node=4)
+    assert cluster.network is None
+    assert cluster.nodes[0].nic.network is None

@@ -1,0 +1,202 @@
+"""Tests for workload models: DLRM, tensor-parallel MLP, MoE, datagen."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Dlrm,
+    DlrmModelConfig,
+    MoeLayer,
+    MoeLayerConfig,
+    TABLE2_DLRM,
+    TABLE2_TORUS,
+    TensorParallelMlp,
+    TransformerMlpConfig,
+    categorical_indices,
+    dense_features,
+    token_batch,
+    top_k_gating,
+)
+from repro.ops import gelu
+
+
+# ---------------------------------------------------------------------------
+# Configs (Table II fidelity)
+# ---------------------------------------------------------------------------
+
+def test_table2_values_match_paper():
+    assert TABLE2_DLRM.embedding_dim == 92
+    assert TABLE2_DLRM.mlp_avg_size == 682
+    assert TABLE2_DLRM.mlp_layers == 43
+    assert TABLE2_DLRM.avg_pooling == 70
+    assert TABLE2_TORUS.link_bandwidth == pytest.approx(200e9 / 8)
+    assert TABLE2_TORUS.link_latency == pytest.approx(700e-9)
+
+
+def test_dlrm_config_helpers():
+    cfg = DlrmModelConfig(total_tables=128, local_batch=64, embedding_dim=8)
+    assert cfg.tables_per_node(16) == 8
+    assert cfg.alltoall_bytes_per_node() == 64 * 128 * 8 * 4
+    with pytest.raises(ValueError):
+        DlrmModelConfig(embedding_dim=0).validate()
+
+
+def test_transformer_config():
+    cfg = TransformerMlpConfig(hidden=1024, ffn_multiplier=4,
+                               tensor_parallel=4)
+    assert cfg.ffn == 4096
+    assert cfg.shard_columns() == 1024
+    with pytest.raises(ValueError):
+        TransformerMlpConfig(hidden=10, tensor_parallel=3).validate()
+
+
+def test_moe_config_validation():
+    with pytest.raises(ValueError):
+        MoeLayerConfig(tokens=10, num_experts=4).validate()
+    with pytest.raises(ValueError):
+        MoeLayerConfig(top_k=9).validate()
+
+
+# ---------------------------------------------------------------------------
+# Data generators
+# ---------------------------------------------------------------------------
+
+def test_dense_features_deterministic():
+    a = dense_features(8, 4, seed=1)
+    b = dense_features(8, 4, seed=1)
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == (8, 4) and a.dtype == np.float32
+
+
+def test_categorical_indices_bounds():
+    idx = categorical_indices(16, 3, 5, rows_per_table=100, seed=2)
+    assert idx.shape == (3, 16, 5)
+    assert idx.min() >= 0 and idx.max() < 100
+
+
+def test_categorical_zipf_skews_distribution():
+    uniform = categorical_indices(500, 1, 20, 1000, seed=3)
+    skewed = categorical_indices(500, 1, 20, 1000, seed=3, zipf_alpha=1.2)
+    # Zipf concentrates mass on low row ids.
+    assert np.median(skewed) < np.median(uniform)
+    with pytest.raises(ValueError):
+        categorical_indices(1, 1, 1, 1, zipf_alpha=-1)
+
+
+def test_token_batch():
+    acts, pos = token_batch(32, 16, seed=4)
+    assert acts.shape == (32, 16)
+    np.testing.assert_array_equal(pos, np.arange(32))
+
+
+# ---------------------------------------------------------------------------
+# DLRM
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def dlrm():
+    return Dlrm.create(dense_dim=13, embedding_dim=16, num_tables=4,
+                       rows_per_table=50, bottom_sizes=[32],
+                       top_sizes=[64, 32],
+                       rng=np.random.default_rng(5))
+
+
+def test_dlrm_forward_shape_and_range(dlrm):
+    dense = dense_features(8, 13, seed=6)
+    idx = categorical_indices(8, 4, 5, 50, seed=7)
+    out = dlrm(dense, idx)
+    assert out.shape == (8,)
+    assert np.all((out > 0) & (out < 1))  # sigmoid output
+
+
+def test_dlrm_deterministic(dlrm):
+    dense = dense_features(4, 13, seed=8)
+    idx = categorical_indices(4, 4, 5, 50, seed=9)
+    np.testing.assert_array_equal(dlrm(dense, idx), dlrm(dense, idx))
+
+
+def test_dlrm_input_validation(dlrm):
+    with pytest.raises(ValueError, match="index tables"):
+        dlrm(dense_features(4, 13), categorical_indices(4, 3, 5, 50))
+    with pytest.raises(ValueError, match="batch mismatch"):
+        dlrm(dense_features(5, 13), categorical_indices(4, 4, 5, 50))
+
+
+# ---------------------------------------------------------------------------
+# Tensor-parallel transformer MLP
+# ---------------------------------------------------------------------------
+
+def test_tp_mlp_matches_unsharded():
+    cfg = TransformerMlpConfig(hidden=64, ffn_multiplier=4, tensor_parallel=4)
+    mlp = TensorParallelMlp.create(cfg, rng=np.random.default_rng(10))
+    x = dense_features(3, 64, seed=11)
+    # Unsharded reference: concatenate the shards.
+    w0 = np.concatenate(mlp.w0_shards, axis=1)
+    w1 = np.concatenate(mlp.w1_shards, axis=0)
+    ref = gelu(x @ w0) @ w1
+    np.testing.assert_allclose(mlp(x), ref, rtol=1e-4, atol=1e-5)
+
+
+def test_tp_mlp_partials_sum_to_forward():
+    cfg = TransformerMlpConfig(hidden=32, ffn_multiplier=2, tensor_parallel=2)
+    mlp = TensorParallelMlp.create(cfg)
+    x = dense_features(2, 32, seed=12)
+    partials = sum(mlp.partial_output(r, x) for r in range(2))
+    np.testing.assert_allclose(partials, mlp(x), rtol=1e-5)
+
+
+def test_tp_mlp_gemv_config_mapping():
+    cfg = TransformerMlpConfig(hidden=8192, ffn_multiplier=4,
+                               tensor_parallel=4)
+    mlp = TensorParallelMlp.create(cfg)
+    gcfg = mlp.gemv_config()
+    assert gcfg.m == 8192
+    assert gcfg.n_per_gpu == 8192  # ffn(32768) / 4
+
+
+# ---------------------------------------------------------------------------
+# MoE
+# ---------------------------------------------------------------------------
+
+def test_top_k_gating_properties():
+    rng = np.random.default_rng(13)
+    logits = rng.standard_normal((10, 4)).astype(np.float32)
+    idx, w = top_k_gating(logits, 2)
+    assert idx.shape == (10, 2) and w.shape == (10, 2)
+    np.testing.assert_allclose(w.sum(axis=1), 1.0, rtol=1e-5)
+    # The top-1 expert really is the argmax.
+    np.testing.assert_array_equal(idx[:, 0], logits.argmax(axis=1))
+    with pytest.raises(ValueError):
+        top_k_gating(logits, 0)
+    with pytest.raises(ValueError):
+        top_k_gating(logits[0], 2)
+
+
+def test_moe_forward_matches_manual():
+    cfg = MoeLayerConfig(tokens=16, model_dim=8, ffn_dim=12, num_experts=4,
+                         top_k=2)
+    layer = MoeLayer.create(cfg, rng=np.random.default_rng(14))
+    x, _pos = token_batch(16, 8, seed=15)
+    out = layer(x)
+    assert out.shape == (16, 12)
+    # Manual recomputation for token 0.
+    idx, w = top_k_gating(x @ layer.router, 2)
+    manual = sum(w[0, j] * (x[0] @ layer.expert_weights[idx[0, j]])
+                 for j in range(2))
+    np.testing.assert_allclose(out[0], manual, rtol=1e-4, atol=1e-6)
+
+
+def test_moe_dispatch_counts_cover_topk():
+    cfg = MoeLayerConfig(tokens=64, model_dim=16, ffn_dim=8, num_experts=4)
+    layer = MoeLayer.create(cfg)
+    x, _ = token_batch(64, 16, seed=16)
+    counts = layer.dispatch_counts(x)
+    assert counts.sum() == 64 * 2  # top-2: every token counted twice
+
+
+def test_moe_gemm_config_mapping():
+    cfg = MoeLayerConfig(model_dim=4096, ffn_dim=8192)
+    layer = MoeLayer.create(cfg)
+    gcfg = layer.gemm_config(tokens_per_expert=4096)
+    assert gcfg.model_dim == 4096 and gcfg.ffn_dim == 8192
+    assert gcfg.tokens == 4096

@@ -1,0 +1,267 @@
+"""Tests for functional operators and their cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hw import MI210, Gpu, KernelResources
+from repro.ops import (
+    Mlp,
+    embedding_pooling,
+    embedding_table_bytes,
+    embedding_wg_cost,
+    gelu,
+    gemm,
+    gemm_tile_grid,
+    gemm_wg_cost,
+    gemv,
+    gemv_wg_cost,
+    interaction,
+    interaction_output_dim,
+    interaction_wg_cost,
+    mlp_flops,
+    mlp_time_on_gpu,
+    relu,
+    sigmoid,
+    split_tiles,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Embedding pooling
+# ---------------------------------------------------------------------------
+
+def test_embedding_sum_matches_manual():
+    rng = np.random.default_rng(0)
+    table = rng.standard_normal((100, 8)).astype(np.float32)
+    idx = rng.integers(0, 100, size=(4, 5))
+    out = embedding_pooling(table, idx, mode="sum")
+    for b in range(4):
+        np.testing.assert_allclose(out[b], table[idx[b]].sum(0), rtol=1e-5)
+
+
+def test_embedding_mean():
+    table = np.ones((10, 4), np.float32) * 3.0
+    idx = np.zeros((2, 6), np.int64)
+    out = embedding_pooling(table, idx, mode="mean")
+    assert np.allclose(out, 3.0)
+
+
+def test_embedding_validation():
+    table = np.zeros((10, 4), np.float32)
+    good_idx = np.zeros((2, 3), np.int64)
+    with pytest.raises(ValueError):
+        embedding_pooling(table[0], good_idx)
+    with pytest.raises(ValueError):
+        embedding_pooling(table, good_idx[0])
+    with pytest.raises(TypeError):
+        embedding_pooling(table, good_idx.astype(np.float32))
+    with pytest.raises(IndexError):
+        embedding_pooling(table, np.full((2, 3), 99, np.int64))
+    with pytest.raises(ValueError):
+        embedding_pooling(table, good_idx, mode="max")
+
+
+def test_embedding_cost_is_memory_bound_on_mi210():
+    cost = embedding_wg_cost(pooling=70, dim=92)
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ = gpu.occupancy(KernelResources(256, 64))
+    mem_t = cost.bytes / (gpu.hbm.achieved_bandwidth(occ.fraction)
+                          / occ.resident_wgs)
+    flop_t = cost.flops / (MI210.fp32_flops / occ.resident_wgs)
+    assert mem_t > flop_t
+
+
+def test_embedding_cost_and_bytes_validation():
+    with pytest.raises(ValueError):
+        embedding_wg_cost(0, 4)
+    assert embedding_table_bytes(1000, 92) == 1000 * 92 * 4
+
+
+@given(hnp.arrays(np.float32, st.tuples(st.integers(2, 30), st.integers(1, 8)),
+                  elements=st.floats(-10, 10, width=32)),
+       st.data())
+@settings(max_examples=40)
+def test_embedding_pooling_linearity(table, data):
+    """sum-pooling is linear: pooling(2*T) == 2*pooling(T)."""
+    batch = data.draw(st.integers(1, 4))
+    pool = data.draw(st.integers(1, 5))
+    idx = data.draw(hnp.arrays(np.int64, (batch, pool),
+                               elements=st.integers(0, table.shape[0] - 1)))
+    out1 = embedding_pooling(table, idx)
+    out2 = embedding_pooling((2.0 * table).astype(np.float32), idx)
+    np.testing.assert_allclose(out2, 2.0 * out1, rtol=1e-4, atol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# GEMV / GEMM / tiles
+# ---------------------------------------------------------------------------
+
+def test_gemv_matches_numpy():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((32, 16)).astype(np.float32)
+    x = rng.standard_normal(16).astype(np.float32)
+    np.testing.assert_allclose(gemv(a, x), a @ x, rtol=1e-5)
+
+
+def test_gemv_validation():
+    with pytest.raises(ValueError):
+        gemv(np.zeros(4), np.zeros(4))
+    with pytest.raises(ValueError):
+        gemv(np.zeros((4, 4)), np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        gemv(np.zeros((4, 5)), np.zeros(4))
+
+
+def test_split_tiles():
+    assert split_tiles(10, 4) == [(0, 4), (4, 8), (8, 10)]
+    assert split_tiles(4, 8) == [(0, 4)]
+    with pytest.raises(ValueError):
+        split_tiles(0, 4)
+    with pytest.raises(ValueError):
+        split_tiles(4, 0)
+
+
+def test_gemv_cost_memory_dominated():
+    cost = gemv_wg_cost(tile_rows=64, n_cols=8192)
+    # GEMV: 2 flops per 4 bytes -> far below MI210's flop:byte balance.
+    assert cost.flops / cost.bytes < MI210.fp32_flops / MI210.hbm_bandwidth
+
+
+def test_gemm_matches_numpy():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((24, 12)).astype(np.float32)
+    b = rng.standard_normal((12, 18)).astype(np.float32)
+    np.testing.assert_allclose(gemm(a, b), a @ b, rtol=1e-5)
+
+
+def test_gemm_validation():
+    with pytest.raises(ValueError):
+        gemm(np.zeros(4), np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        gemm(np.zeros((4, 5)), np.zeros((4, 5)))
+
+
+def test_gemm_tile_grid_covers_output():
+    grid = gemm_tile_grid(300, 200, 128, 128)
+    assert len(grid) == 3 * 2
+    covered = np.zeros((300, 200), bool)
+    for (m0, m1), (n0, n1) in grid:
+        assert not covered[m0:m1, n0:n1].any()  # no overlap
+        covered[m0:m1, n0:n1] = True
+    assert covered.all()
+
+
+def test_gemm_cost_compute_bound_for_moe_shapes():
+    cost = gemm_wg_cost(128, 128, k=4096)
+    assert cost.flops / cost.bytes > MI210.fp32_flops / MI210.hbm_bandwidth
+
+
+@given(st.integers(1, 200), st.integers(1, 64))
+def test_split_tiles_partition_property(extent, tile):
+    tiles = split_tiles(extent, tile)
+    assert tiles[0][0] == 0 and tiles[-1][1] == extent
+    for (a0, a1), (b0, b1) in zip(tiles, tiles[1:]):
+        assert a1 == b0
+        assert a1 - a0 == tile
+    assert all(t1 - t0 <= tile for t0, t1 in tiles)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+def test_relu():
+    x = np.array([-1.0, 0.0, 2.0], np.float32)
+    np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+
+def test_gelu_reference_points():
+    x = np.array([0.0, 1.0, -1.0], np.float64)
+    out = gelu(x)
+    assert out[0] == 0.0
+    assert out[1] == pytest.approx(0.841192, abs=1e-4)
+    assert out[2] == pytest.approx(-0.158808, abs=1e-4)
+
+
+def test_sigmoid_stable_at_extremes():
+    x = np.array([-1000.0, 0.0, 1000.0], np.float64)
+    out = sigmoid(x)
+    assert out == pytest.approx([0.0, 0.5, 1.0])
+    assert np.isfinite(out).all()
+
+
+# ---------------------------------------------------------------------------
+# Interaction
+# ---------------------------------------------------------------------------
+
+def test_interaction_shape_and_content():
+    batch, f, d = 3, 4, 8
+    rng = np.random.default_rng(3)
+    dense = rng.standard_normal((batch, d)).astype(np.float32)
+    emb = rng.standard_normal((batch, f, d)).astype(np.float32)
+    out = interaction(dense, emb)
+    assert out.shape == (batch, interaction_output_dim(f, d))
+    # First d columns are the dense passthrough.
+    np.testing.assert_array_equal(out[:, :d], dense)
+    # First pair term is dense . emb[0].
+    np.testing.assert_allclose(out[:, d],
+                               np.einsum("bd,bd->b", dense, emb[:, 0]),
+                               rtol=1e-4)
+
+
+def test_interaction_validation():
+    with pytest.raises(ValueError):
+        interaction(np.zeros(4), np.zeros((1, 2, 4)))
+    with pytest.raises(ValueError):
+        interaction(np.zeros((2, 4)), np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        interaction(np.zeros((2, 4)), np.zeros((3, 2, 4)))
+    with pytest.raises(ValueError):
+        interaction(np.zeros((2, 4)), np.zeros((2, 2, 5)))
+
+
+def test_interaction_cost_positive():
+    c = interaction_wg_cost(26, 92)
+    assert c.flops > 0 and c.bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# MLP
+# ---------------------------------------------------------------------------
+
+def test_mlp_forward_shapes_and_determinism():
+    mlp = Mlp.create([16, 32, 8], rng=np.random.default_rng(7))
+    x = np.random.default_rng(8).standard_normal((5, 16)).astype(np.float32)
+    out1, out2 = mlp(x), mlp(x)
+    assert out1.shape == (5, 8)
+    np.testing.assert_array_equal(out1, out2)
+
+
+def test_mlp_relu_applied_between_but_not_after():
+    mlp = Mlp.create([4, 4, 4], activation="relu",
+                     rng=np.random.default_rng(9))
+    x = np.random.default_rng(10).standard_normal((50, 4)).astype(np.float32)
+    out = mlp(x)
+    assert (out < 0).any()  # last layer is linear -> negatives survive
+
+
+def test_mlp_create_validation():
+    with pytest.raises(ValueError):
+        Mlp.create([4])
+    with pytest.raises(ValueError):
+        Mlp.create([4, 4], activation="tanhh")
+
+
+def test_mlp_flops():
+    assert mlp_flops(10, [4, 8, 2]) == 2 * 10 * 4 * 8 + 2 * 10 * 8 * 2
+
+
+def test_mlp_time_positive_and_scales():
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    t_small = mlp_time_on_gpu(gpu, 128, [512, 512])
+    t_big = mlp_time_on_gpu(gpu, 128, [512, 512, 512])
+    assert 0 < t_small < t_big

@@ -1,0 +1,331 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return "done"
+
+    assert sim.run_process(proc(sim)) == "done"
+    assert sim.now == 2.5
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc(sim):
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    assert sim.run_process(proc(sim)) == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+
+    sim.run_process(proc(sim))
+    assert sim.now == pytest.approx(6.0)
+
+
+def test_parallel_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.process(proc(sim, "b", 2.0))
+    sim.process(proc(sim, "a", 1.0))
+    sim.run()
+    assert log == [(1.0, "a"), (2.0, "b")]
+
+
+def test_same_time_fifo_order():
+    """Events at identical times must process in schedule order."""
+    sim = Simulator()
+    log = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        log.append(name)
+
+    for name in "abcde":
+        sim.process(proc(sim, name))
+    sim.run()
+    assert log == list("abcde")
+
+
+def test_process_waits_on_manual_event():
+    sim = Simulator()
+
+    def waiter(sim, ev):
+        val = yield ev
+        return val
+
+    def firer(sim, ev):
+        yield sim.timeout(3.0)
+        ev.succeed(99)
+
+    ev = sim.event()
+    w = sim.process(waiter(sim, ev))
+    sim.process(firer(sim, ev))
+    sim.run()
+    assert w.value == 99
+    assert sim.now == 3.0
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_failed_event_raises_in_process():
+    sim = Simulator()
+
+    def proc(sim, ev):
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "caught"
+
+    ev = sim.event()
+    ev.fail(ValueError("boom"))
+    assert sim.run_process(proc(sim, ev)) == "caught"
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 7
+
+    def parent(sim):
+        val = yield sim.process(child(sim))
+        return val * 2
+
+    assert sim.run_process(parent(sim)) == 14
+
+
+def test_process_exception_propagates_to_parent():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def parent(sim):
+        with pytest.raises(RuntimeError, match="child died"):
+            yield sim.process(child(sim))
+        return "survived"
+
+    assert sim.run_process(parent(sim)) == "survived"
+
+
+def test_uncaught_process_exception_raises_from_run_process():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    with pytest.raises(KeyError):
+        sim.run_process(proc(sim))
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 42
+
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run_process(proc(sim))
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc(sim):
+        evs = [sim.timeout(t) for t in (1.0, 3.0, 2.0)]
+        yield AllOf(sim, evs)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 3.0
+
+
+def test_all_of_empty_is_immediate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.all_of([])
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_any_of_waits_for_first():
+    sim = Simulator()
+
+    def proc(sim):
+        evs = [sim.timeout(t) for t in (5.0, 1.0, 3.0)]
+        yield AnyOf(sim, evs)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 1.0
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        got = yield sim.all_of([a, b])
+        return sorted(got.values())
+
+    assert sim.run_process(proc(sim)) == ["a", "b"]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100.0)
+
+    sim.process(proc(sim))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_deadlock_detected_by_run_process():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.event()  # never triggered
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(proc(sim))
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as itr:
+            log.append((sim.now, itr.cause))
+        return "interrupted"
+
+    def attacker(sim, proc):
+        yield sim.timeout(2.0)
+        proc.interrupt(cause="stop")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert v.value == "interrupted"
+    assert log == [(2.0, "stop")]
+
+
+def test_interrupt_completed_process_raises():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_add_callback_after_processed_runs_immediately():
+    sim = Simulator()
+    ev = sim.timeout(1.0, value=5)
+    sim.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == [5]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_many_processes_scale():
+    """A few thousand processes run and the clock lands on the max delay."""
+    sim = Simulator()
+    n = 2000
+
+    def proc(sim, i):
+        yield sim.timeout(i * 0.001)
+
+    for i in range(n):
+        sim.process(proc(sim, i))
+    sim.run()
+    assert sim.now == pytest.approx((n - 1) * 0.001)

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the simulation core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FairShareLink, FifoChannel, Resource, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                 allow_nan=False), min_size=1, max_size=30))
+def test_clock_monotonic_and_ends_at_max_delay(delays):
+    """The clock never runs backwards and drains at the max scheduled time."""
+    sim = Simulator()
+    seen = []
+
+    def proc(sim, d):
+        yield sim.timeout(d)
+        seen.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(sim, d))
+    end = sim.run()
+    assert seen == sorted(seen)
+    assert math.isclose(end, max(delays), rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(sizes=st.lists(st.floats(min_value=1.0, max_value=1e6,
+                                allow_nan=False), min_size=1, max_size=20),
+       bw=st.floats(min_value=1.0, max_value=1e6, allow_nan=False))
+def test_fifo_channel_work_conservation(sizes, bw):
+    """Total FIFO service time equals sum(size)/bandwidth exactly."""
+    sim = Simulator()
+    ch = FifoChannel(sim, bandwidth=bw)
+    for s in sizes:
+        ch.transfer(s)
+    end = sim.run()
+    assert math.isclose(end, sum(sizes) / bw, rel_tol=1e-9)
+
+
+@given(sizes=st.lists(st.floats(min_value=1.0, max_value=1e5,
+                                allow_nan=False), min_size=1, max_size=12),
+       bw=st.floats(min_value=1.0, max_value=1e4, allow_nan=False))
+@settings(max_examples=50)
+def test_fairshare_completion_bounds(sizes, bw):
+    """Simultaneous fair-share flows finish no earlier than their solo time
+    and no later than total-work time (work conservation bounds)."""
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=bw)
+    completions = {}
+
+    def proc(sim):
+        evs = []
+        for i, s in enumerate(sizes):
+            ev = link.transfer(s, value=i)
+            ev.add_callback(lambda e: completions.__setitem__(e.value, sim.now))
+            evs.append(ev)
+        yield sim.all_of(evs)
+
+    sim.run_process(proc(sim))
+    total_time = sum(sizes) / bw
+    for i, s in enumerate(sizes):
+        solo = s / bw
+        assert completions[i] >= solo - 1e-6 * max(solo, 1.0)
+        assert completions[i] <= total_time + 1e-6 * max(total_time, 1.0)
+    # The last completion is exactly the work-conserving makespan.
+    assert math.isclose(max(completions.values()), total_time, rel_tol=1e-6)
+
+
+@given(sizes=st.lists(st.floats(min_value=1.0, max_value=1e5,
+                                allow_nan=False), min_size=2, max_size=10))
+@settings(max_examples=50)
+def test_fairshare_smaller_flows_finish_first(sizes):
+    """For flows started simultaneously, completion order follows size."""
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0)
+    order = []
+
+    def proc(sim):
+        evs = []
+        for i, s in enumerate(sizes):
+            ev = link.transfer(s, value=(s, i))
+            ev.add_callback(lambda e: order.append(e.value))
+            evs.append(ev)
+        yield sim.all_of(evs)
+
+    sim.run_process(proc(sim))
+    finished_sizes = [s for s, _i in order]
+    # Tolerate float ties: flows whose sizes differ by < 1e-6 relative may
+    # drain in the same completion batch in either order.
+    for earlier, later in zip(finished_sizes, finished_sizes[1:]):
+        assert earlier <= later * (1 + 1e-6) + 1e-9
+
+
+@given(capacity=st.integers(min_value=1, max_value=8),
+       holds=st.lists(st.floats(min_value=0.01, max_value=10.0,
+                                allow_nan=False), min_size=1, max_size=25))
+@settings(max_examples=50)
+def test_resource_never_oversubscribed(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = [0]
+
+    def user(sim, hold):
+        yield res.request()
+        max_seen[0] = max(max_seen[0], res.in_use)
+        yield sim.timeout(hold)
+        res.release()
+
+    for h in holds:
+        sim.process(user(sim, h))
+    sim.run()
+    assert max_seen[0] <= capacity
+    assert res.in_use == 0
+    assert res.queued == 0

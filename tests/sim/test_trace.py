@@ -1,0 +1,100 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.sim import TraceRecorder
+
+
+def make_trace():
+    tr = TraceRecorder()
+    tr.record(0.0, "kernel_launch", "gpu0")
+    tr.record(0.0, "wg_start", "gpu0/wg0", task=0)
+    tr.record(1.0, "wg_end", "gpu0/wg0", task=0)
+    tr.record(1.0, "put_issue", "gpu0/wg0", nbytes=128, dest=1)
+    tr.record(1.0, "wg_start", "gpu0/wg0", task=1)
+    tr.record(2.5, "wg_end", "gpu0/wg0", task=1)
+    tr.record(0.0, "wg_start", "gpu0/wg1", task=2)
+    tr.record(3.0, "wg_end", "gpu0/wg1", task=2)
+    tr.record(3.0, "kernel_end", "gpu0")
+    return tr
+
+
+def test_record_and_len():
+    tr = make_trace()
+    assert len(tr) == 9
+
+
+def test_disabled_recorder_drops_events():
+    tr = TraceRecorder(enabled=False)
+    tr.record(0.0, "wg_start", "x")
+    assert len(tr) == 0
+
+
+def test_filter_by_kind():
+    tr = make_trace()
+    puts = tr.filter(kind="put_issue")
+    assert len(puts) == 1
+    assert puts[0].detail["nbytes"] == 128
+
+
+def test_filter_by_actor():
+    tr = make_trace()
+    assert len(tr.filter(actor="gpu0/wg1")) == 2
+
+
+def test_filter_by_predicate():
+    tr = make_trace()
+    late = tr.filter(predicate=lambda ev: ev.time >= 2.5)
+    assert {ev.kind for ev in late} == {"wg_end", "kernel_end"}
+
+
+def test_actors_in_first_seen_order():
+    tr = make_trace()
+    assert tr.actors() == ["gpu0", "gpu0/wg0", "gpu0/wg1"]
+
+
+def test_spans_stitching():
+    tr = make_trace()
+    spans = tr.spans("wg", actor="gpu0/wg0")
+    assert [(s.start, s.end) for s in spans] == [(0.0, 1.0), (1.0, 2.5)]
+    assert spans[0].duration == 1.0
+    assert spans[0].detail["task"] == 0
+
+
+def test_spans_kernel():
+    tr = make_trace()
+    [k] = tr.spans("kernel")
+    assert (k.start, k.end) == (0.0, 3.0)
+
+
+def test_spans_unknown_kind_raises():
+    tr = make_trace()
+    with pytest.raises(KeyError):
+        tr.spans("nope")
+
+
+def test_unmatched_open_span_dropped():
+    tr = TraceRecorder()
+    tr.record(0.0, "wg_start", "a")
+    assert tr.spans("wg") == []
+
+
+def test_render_timeline_contains_rows_and_markers():
+    tr = make_trace()
+    out = tr.render_timeline(actors=["gpu0/wg0", "gpu0/wg1"], width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("gpu0/wg0")
+    assert "#" in lines[0]
+    assert "P" in lines[0]  # the put marker
+    assert "#" in lines[1]
+
+
+def test_render_empty_trace():
+    tr = TraceRecorder()
+    assert tr.render_timeline() == "(empty trace)"
+
+
+def test_clear():
+    tr = make_trace()
+    tr.clear()
+    assert len(tr) == 0
