@@ -9,6 +9,23 @@ aggregates land in ``benchmark.extra_info`` / the JSON report.
 
 import pytest
 
+#: Benchmark files whose tests get the ``slow`` marker: the heaviest figure
+#: regenerations.  ``pytest -m "not slow"`` then gives a quick inner-loop
+#: run; the full suite (slow included) remains the tier-1 gate.
+SLOW_FILES = frozenset({
+    "test_fig08_embedding_a2a_intranode.py",
+    "test_fig10_gemm_a2a.py",
+    "test_fig12_embedding_a2a_internode.py",
+    "test_fig15_scaleout.py",
+    "test_ablation_zero_copy.py",
+})
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.path is not None and item.path.name in SLOW_FILES:
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture
 def run_figure(benchmark):

@@ -1,0 +1,92 @@
+"""Host-performance microbenchmarks for the simulation core.
+
+Unlike the figure benchmarks (which measure deterministic *simulated* time),
+these measure *host* wall-clock: raw engine event throughput and
+persistent-kernel workgroups/second, with the run-length fast path on and
+off.  Run with ``REPRO_WRITE_BENCH=1`` to refresh ``BENCH_engine.json`` at
+the repo root (together with a representative figure regeneration), so the
+host-performance trajectory is tracked PR over PR from one canonical
+machine; a plain test run only asserts and prints.
+"""
+
+import os
+import pathlib
+
+from repro.bench.figures import fig9_gemv_allreduce
+from repro.bench.perf import time_call, write_bench_report
+from repro.fused.base import baseline_kernel_resources
+from repro.hw.gpu import Gpu, WgCost
+from repro.hw.specs import MI210
+from repro.kernels import PersistentKernel, make_uniform_tasks
+from repro.sim import Simulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Events pumped through the raw engine throughput measurement.
+N_EVENTS = 200_000
+#: Logical WGs in the persistent-kernel measurement.
+N_TASKS = 100_000
+#: Reduced Fig. 9 grid for the representative figure regeneration.
+FIG9_SMALL_GRID = ((8192, 8192), (16384, 16384), (32768, 16384))
+
+
+def _engine_events_per_sec() -> float:
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(N_EVENTS):
+            yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    _, wall = time_call(sim.run)
+    return N_EVENTS / wall
+
+
+def _kernel_wgs_per_sec() -> float:
+    """Launch one hook-free uniform kernel of ``N_TASKS`` logical WGs."""
+    sim = Simulator()
+    gpu = Gpu(sim, MI210, gpu_id=0)
+    tasks = make_uniform_tasks(N_TASKS, WgCost(bytes=4096.0))
+    kern = PersistentKernel(gpu, baseline_kernel_resources(), tasks)
+    kern.launch()
+    _, wall = time_call(sim.run)
+    return N_TASKS / wall
+
+
+def test_engine_event_throughput():
+    eps = _engine_events_per_sec()
+    # Generous floor: even a slow CI box sustains far more than this.
+    assert eps > 50_000, f"engine throughput collapsed: {eps:.0f} events/s"
+
+
+def test_fastpath_speedup_and_report(monkeypatch):
+    """Fast path >= 5x WGs/sec on a hook-free uniform kernel; emit report."""
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+    fast = _kernel_wgs_per_sec()
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+    slow = _kernel_wgs_per_sec()
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
+
+    speedup = fast / slow
+    assert speedup >= 5.0, (
+        f"fast path only {speedup:.1f}x over per-task stepping "
+        f"({fast:.0f} vs {slow:.0f} WGs/s)")
+
+    fig9, fig9_wall = time_call(
+        lambda: fig9_gemv_allreduce(grid=FIG9_SMALL_GRID))
+    payload = {
+        "engine_events_per_sec": round(_engine_events_per_sec()),
+        "kernel_wgs_per_sec_fastpath": round(fast),
+        "kernel_wgs_per_sec_slowpath": round(slow),
+        "fastpath_speedup": round(speedup, 1),
+        "fig9_reduced_grid_wall_sec": round(fig9_wall, 3),
+        "fig9_reduced_grid_mean_normalized": round(fig9.mean_normalized, 4),
+    }
+    # Wall-clock numbers are machine-dependent; only refresh the committed
+    # report when explicitly asked, so a routine test run leaves a clean
+    # working tree.
+    if os.environ.get("REPRO_WRITE_BENCH"):
+        payload = write_bench_report(REPO_ROOT / "BENCH_engine.json", payload)
+    print()
+    for key in sorted(payload):
+        print(f"{key}: {payload[key]}")

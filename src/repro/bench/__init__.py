@@ -13,6 +13,7 @@ from .figures import (
     table2_setup,
 )
 from .harness import FigureResult, Row, compare
+from .perf import time_call, write_bench_report
 
 __all__ = [
     "FigureResult",
@@ -28,4 +29,6 @@ __all__ = [
     "fig15_scaleout",
     "table1_setup",
     "table2_setup",
+    "time_call",
+    "write_bench_report",
 ]

@@ -8,7 +8,7 @@ the paper-vs-measured comparison produced from these.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..fused.base import OpHarness
 from ..fused.embedding_alltoall import (

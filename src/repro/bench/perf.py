@@ -1,0 +1,40 @@
+"""Host-performance reporting for the simulation core.
+
+The figure benchmarks measure *simulated* time, which is deterministic; this
+module is about *host* wall-clock — how fast the engine chews through events.
+``benchmarks/test_perf_engine.py`` measures the raw engine and the
+persistent-kernel runtime and emits ``BENCH_engine.json`` at the repo root,
+so the host-performance trajectory is tracked PR over PR alongside the
+simulated results.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["time_call", "write_bench_report"]
+
+
+def time_call(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once; return ``(result, wall_seconds)``."""
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def write_bench_report(path, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Write a host-performance report as stable, diffable JSON."""
+    data = {
+        "schema": "repro.bench.engine/v1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    data.update(payload)
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return data

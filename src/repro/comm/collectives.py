@@ -17,7 +17,7 @@ All methods are generators meant to run inside a simulation process::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

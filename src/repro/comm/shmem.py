@@ -149,10 +149,16 @@ class ShmemContext:
 
     def put_signal_bytes(self, dst_rank: int, nbytes: float,
                          flags: FlagArray, flag_idx: int,
-                         flag_value: int = 1) -> Event:
-        """Timing-only variant of :meth:`put_signal`."""
+                         flag_value: int = 1,
+                         notify: bool = True) -> Optional[Event]:
+        """Timing-only variant of :meth:`put_signal`.
+
+        With ``notify=False`` no completion event is materialized (returns
+        ``None``) — producers that rely purely on the destination's flag, as
+        the fused kernels do, save one heap event per slice.
+        """
         data_ev = self.put_bytes(dst_rank, nbytes)
-        done = self.sim.event()
+        done = self.sim.event() if notify else None
 
         def after_data(_ev):
             flag_ev = self._route(dst_rank, FLAG_BYTES)
@@ -160,7 +166,8 @@ class ShmemContext:
 
             def after_flag(_e):
                 flags.set(dst_rank, flag_idx, flag_value)
-                done.succeed()
+                if done is not None:
+                    done.succeed()
 
             flag_ev.add_callback(after_flag)
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..comm.runtime import Communicator
 from ..hw.topology import Cluster
-from ..sim import Simulator, TraceRecorder
+from ..sim import NULL_TRACE, Simulator, TraceRecorder
 
 __all__ = ["OpResult", "OpHarness", "fused_kernel_resources",
            "baseline_kernel_resources"]
@@ -75,7 +75,7 @@ class OpHarness:
                  trace: Optional[TraceRecorder] = None,
                  cpu_proxy: bool = False):
         self.sim = Simulator()
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.trace = trace if trace is not None else NULL_TRACE
         from ..hw.topology import build_cluster
         self.cluster: Cluster = build_cluster(
             self.sim, num_nodes=num_nodes, gpus_per_node=gpus_per_node,

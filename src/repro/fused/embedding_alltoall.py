@@ -264,8 +264,9 @@ class FusedEmbeddingAllToAll:
                 # Local slice: data already in place; mark it ready.
                 self.flags_for(rank).set(rank, fidx)
                 return None
-            slot_ctx.record("put_issue", dest=d, table=t, slice=s,
-                            nbytes=cfg.slice_bytes())
+            if slot_ctx.trace.enabled:
+                slot_ctx.record("put_issue", dest=d, table=t, slice=s,
+                                nbytes=cfg.slice_bytes())
             # The issuing thread pays the API latency; the transfer itself
             # is non-blocking (the WG moves on to its next task).
             if cfg.functional:
@@ -279,7 +280,7 @@ class FusedEmbeddingAllToAll:
                                slice(None)))
             else:
                 ctx.put_signal_bytes(d, cfg.slice_bytes(),
-                                     self.flags_for(d), fidx)
+                                     self.flags_for(d), fidx, notify=False)
             yield slot_ctx.charge(spec.shmem_api_latency)
 
         return hook

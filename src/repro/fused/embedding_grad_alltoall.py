@@ -193,7 +193,8 @@ class FusedEmbeddingGradAllToAll:
         rows = slice(s * cfg.slice_vectors, (s + 1) * cfg.slice_vectors)
 
         def hook(slot_ctx, task):
-            slot_ctx.record("put_issue", owner=owner, table=t, slice=s)
+            if slot_ctx.trace.enabled:
+                slot_ctx.record("put_issue", owner=owner, table=t, slice=s)
             if cfg.functional:
                 payload = self.grads[rank][rows, owner * t_per + t, :]
                 ctx.put_signal(self.recv, payload, dst_rank=owner,
@@ -201,7 +202,7 @@ class FusedEmbeddingGradAllToAll:
                                dst_index=(rank, rows, t, slice(None)))
             else:
                 ctx.put_signal_bytes(owner, cfg.slice_bytes(),
-                                     self.flags[owner], fidx)
+                                     self.flags[owner], fidx, notify=False)
             if owner != rank:
                 yield slot_ctx.charge(
                     self.cluster.gpu(rank).spec.shmem_api_latency)

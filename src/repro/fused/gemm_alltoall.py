@@ -216,7 +216,8 @@ class FusedGemmAllToAll:
                 meta["grid_pos"] = pos
 
                 def hook(slot_ctx, task, dst=meta["dest"]):
-                    slot_ctx.record("put_issue", dest=dst)
+                    if slot_ctx.trace.enabled:
+                        slot_ctx.record("put_issue", dest=dst)
                     ev = ctx.put_bytes(dst, cfg.tile_wire_bytes())
                     pending_by_dst.setdefault(dst, []).append(ev)
                     yield slot_ctx.charge(spec.shmem_api_latency)

@@ -202,7 +202,8 @@ class FusedGemvAllReduce:
 
         def hook(slot_ctx, task):
             if owner != rank:
-                slot_ctx.record("put_issue", owner=owner, nbytes=nbytes)
+                if slot_ctx.trace.enabled:
+                    slot_ctx.record("put_issue", owner=owner, nbytes=nbytes)
                 if cfg.functional:
                     # Functional payloads are fp32 (verification); timing
                     # always models the fp16 wire size.
@@ -243,8 +244,9 @@ class FusedGemvAllReduce:
             for d in range(world):
                 if d == rank:
                     continue
-                slot_ctx.record("put_issue", owner=d, nbytes=nbytes,
-                                phase="allgather")
+                if slot_ctx.trace.enabled:
+                    slot_ctx.record("put_issue", owner=d, nbytes=nbytes,
+                                    phase="allgather")
                 if cfg.functional:
                     self.y.local(d)[rank * chunk + t0:rank * chunk + t1] = \
                         reduced

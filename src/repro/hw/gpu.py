@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Simulator, TraceRecorder
+from ..sim import NULL_TRACE, Simulator, TraceRecorder
 from .memory import HbmModel
 from .specs import GpuSpec
 
@@ -114,10 +114,15 @@ class Gpu:
         self.gpu_id = gpu_id
         self.node_id = node_id
         self.local_id = local_id
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.trace = trace if trace is not None else NULL_TRACE
         self.hbm = HbmModel(spec)
         self.fabric = None   # set by topology: repro.hw.fabric.Fabric
         self.nic = None      # set by topology: repro.hw.nic.Nic
+        # Kernels ask for the same handful of (resources, cost, occupancy)
+        # combinations thousands of times per launch; both calculations are
+        # pure functions of frozen dataclasses, so memoize per device.
+        self._occupancy_cache: dict = {}
+        self._duration_cache: dict = {}
 
     def __repr__(self) -> str:
         return f"<Gpu {self.gpu_id} ({self.spec.name}) node={self.node_id}>"
@@ -129,6 +134,9 @@ class Gpu:
     # -- occupancy ----------------------------------------------------------
     def occupancy(self, res: KernelResources) -> OccupancyInfo:
         """Apply the hardware allocation rules to kernel resource usage."""
+        cached = self._occupancy_cache.get(res)
+        if cached is not None:
+            return cached
         s = self.spec
         waves_per_wg = math.ceil(res.threads_per_wg / s.wave_size)
         vgpr_alloc = math.ceil(res.vgprs_per_thread / s.vgpr_granule) * s.vgpr_granule
@@ -146,11 +154,17 @@ class Gpu:
             raise ValueError("kernel resources exceed a single CU")
         resident = wgs_per_cu * s.num_cus
         fraction = (wgs_per_cu * waves_per_wg) / s.max_waves_per_cu
-        return OccupancyInfo(waves_per_wg, wgs_per_cu, resident, fraction)
+        info = OccupancyInfo(waves_per_wg, wgs_per_cu, resident, fraction)
+        self._occupancy_cache[res] = info
+        return info
 
     # -- timing ---------------------------------------------------------------
     def wg_duration(self, cost: WgCost, occ: OccupancyInfo) -> float:
         """Roofline duration of one WG given the kernel's occupancy."""
+        key = (cost, occ)
+        cached = self._duration_cache.get(key)
+        if cached is not None:
+            return cached
         resident = max(occ.resident_wgs, 1)
         mem_time = 0.0
         if cost.bytes > 0:
@@ -164,7 +178,9 @@ class Gpu:
             per_wg = self.spec.flop_rate(cost.dtype) / max(resident,
                                                            self.spec.num_cus)
             flop_time = cost.flops / per_wg
-        return max(mem_time, flop_time) + cost.fixed
+        out = max(mem_time, flop_time) + cost.fixed
+        self._duration_cache[key] = out
+        return out
 
     def kernel_span_estimate(self, n_wgs: int, cost: WgCost,
                              occ: OccupancyInfo) -> float:

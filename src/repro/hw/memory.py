@@ -49,6 +49,10 @@ class HbmModel:
         if xs[0] != 0.0:
             raise ValueError("hbm_efficiency must start at occupancy 0.0")
         self._points = pts
+        # Kernels evaluate the model at a handful of distinct occupancies,
+        # thousands of times each; the model is a pure function of the frozen
+        # spec, so memoize on (occupancy, access).
+        self._bw_cache: dict = {}
 
     def efficiency(self, occupancy: float) -> float:
         """Piecewise-linear DRAM efficiency at the given occupancy."""
@@ -85,10 +89,16 @@ class HbmModel:
         throughput, so the fused kernels' register-pressure occupancy loss
         "does not degrade performance".
         """
+        key = (occupancy, access)
+        cached = self._bw_cache.get(key)
+        if cached is not None:
+            return cached
         if access not in ("stream", "gather"):
             raise ValueError(f"unknown access pattern {access!r}")
         eff = self.efficiency(occupancy) if access == "gather" else 1.0
-        return self.spec.hbm_bandwidth * self.concurrency_ramp(occupancy) * eff
+        bw = self.spec.hbm_bandwidth * self.concurrency_ramp(occupancy) * eff
+        self._bw_cache[key] = bw
+        return bw
 
     def best_occupancy(self, samples: int = 200,
                        access: str = "gather") -> float:

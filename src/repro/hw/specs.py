@@ -12,10 +12,10 @@ every experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
-from ..utils.units import GB, GB_PER_S, GIB, NS, US
+from ..utils.units import GB_PER_S, GIB, US
 
 __all__ = [
     "GpuSpec",

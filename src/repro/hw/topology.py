@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..sim import Simulator, TraceRecorder
+from ..sim import NULL_TRACE, Simulator, TraceRecorder
 from .fabric import Fabric
 from .gpu import Gpu
 from .network import Network
@@ -89,7 +89,7 @@ def build_cluster(sim: Simulator, num_nodes: int = 1, gpus_per_node: int = 4,
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
     spec = node_spec if node_spec is not None else mi210_node_spec(gpus_per_node)
-    tr = trace if trace is not None else TraceRecorder(enabled=False)
+    tr = trace if trace is not None else NULL_TRACE
     network = Network(sim, spec.nic, num_nodes) if num_nodes > 1 else None
     nodes = []
     for n in range(num_nodes):

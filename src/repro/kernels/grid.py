@@ -29,7 +29,7 @@ from ..sim import Simulator, TraceRecorder
 __all__ = ["WgTask", "SlotContext"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WgTask:
     """One schedulable unit of a kernel (a logical WG or WG-cluster)."""
 
@@ -51,7 +51,7 @@ class WgTask:
         return bool(self.meta.get("remote", False))
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotContext:
     """Execution context handed to task hooks by a physical WG slot."""
 
@@ -73,4 +73,5 @@ class SlotContext:
         return self.sim.timeout(seconds)
 
     def record(self, kind: str, **detail) -> None:
-        self.trace.record(self.sim.now, kind, self.actor, **detail)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, kind, self.actor, **detail)

@@ -10,10 +10,31 @@ fused kernels poll their subset of ``sliceRdy`` flags).
 
 The same runtime executes baseline compute kernels — with no hooks, it is
 timing-equivalent to an ordinary bulk-synchronous launch under this model.
+
+Fast path
+---------
+
+Runs of tasks that carry no ``compute`` payload and no ``on_complete`` hook
+and share the same ``(cost, repeat)`` collapse into one scheduled wake-up
+per physical WG instead of one per task.  Because the task queue is shared,
+a slot may only swallow tasks it would actually have been assigned; the two
+cases where that assignment is known up front are
+
+* a *fully uniform* kernel (every task identical, hook- and compute-free):
+  greedy pulls from the shared queue are exactly round-robin, so slot ``s``
+  of ``n`` executes ``ceil((R - s) / n)`` tasks back to back, and
+* a single-slot kernel, where any consecutive run belongs to the one slot.
+
+With tracing disabled this is observably equivalent — no intermediate event
+exists that anything could react to — and the batch lands on exactly the
+timestamps the per-task path produces (the end time is accumulated with the
+same sequence of float additions and scheduled absolutely).  Set
+``REPRO_SIM_FASTPATH=0`` in the environment to force per-task stepping.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Callable, Generator, List, Optional, Sequence
 
@@ -21,11 +42,21 @@ from ..hw.gpu import Gpu, KernelResources, OccupancyInfo, WgCost
 from ..sim import Process, Simulator, TraceRecorder
 from .grid import SlotContext, WgTask
 
-__all__ = ["PersistentKernel", "run_kernel", "make_uniform_tasks"]
+__all__ = ["PersistentKernel", "run_kernel", "make_uniform_tasks",
+           "fastpath_enabled"]
 
 #: Task loops at most this many rounds long get a balanced grid; longer
 #: loops amortize their tail and launch at full occupancy.
 _BALANCE_ROUNDS = 8
+
+
+def fastpath_enabled() -> bool:
+    """Whether run-length task batching is active (``REPRO_SIM_FASTPATH``).
+
+    Consulted at every kernel launch, so flipping the environment variable
+    mid-process (e.g. from a test) takes effect immediately.
+    """
+    return os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
 
 
 class PersistentKernel:
@@ -91,36 +122,127 @@ class PersistentKernel:
     def run(self) -> Generator:
         """Generator form, for composing inside an existing process."""
         spec = self.gpu.spec
-        self.trace.record(self.sim.now, "kernel_launch", self.gpu.name,
-                          kernel=self.name, n_tasks=len(self.tasks),
-                          n_slots=self.n_slots,
-                          occupancy=self.occupancy.fraction)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, "kernel_launch", self.gpu.name,
+                              kernel=self.name, n_tasks=len(self.tasks),
+                              n_slots=self.n_slots,
+                              occupancy=self.occupancy.fraction)
         yield self.sim.timeout(spec.kernel_launch_overhead)
-        queue = deque(self.tasks)
+        fast = fastpath_enabled() and not self.trace.enabled
+        if fast and self.n_slots > 1 and self._tasks_uniform_batchable():
+            yield from self._run_uniform_fast()
+        else:
+            queue = deque(self.tasks)
+            slots = [
+                self.sim.process(
+                    self._slot_loop(
+                        SlotContext(self.sim, self.gpu, self,
+                                    slot_id=s, occupancy=self.occupancy,
+                                    trace=self.trace), queue, fast),
+                    name=f"{self.name}/slot{s}")
+                for s in range(self.n_slots)
+            ]
+            yield self.sim.all_of(slots)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, "kernel_end", self.gpu.name,
+                              kernel=self.name)
+
+    def _tasks_uniform_batchable(self) -> bool:
+        """True if every task is identical, hook-free and compute-free."""
+        first = self.tasks[0]
+        if first.on_complete is not None or first.compute is not None:
+            return False
+        cost, repeat = first.cost, first.repeat
+        for t in self.tasks:
+            if (t.on_complete is not None or t.compute is not None
+                    or t.repeat != repeat
+                    or not (t.cost is cost or t.cost == cost)):
+                return False
+        return True
+
+    def _task_duration(self, task: WgTask) -> float:
+        return task.repeat * (self.gpu.wg_duration(task.cost, self.occupancy)
+                              + self.gpu.spec.wg_dispatch_overhead)
+
+    def _run_uniform_fast(self) -> Generator:
+        """Fast-forward a fully uniform kernel without per-task events.
+
+        Greedy pulls from the shared queue are round-robin here, so slot
+        ``s`` executes ``q + 1`` tasks if ``s < r`` else ``q`` (with ``q, r
+        = divmod(n_tasks, n_slots)``), back to back.  End times replay the
+        per-task ``now + dur`` float accumulation exactly.
+        """
+        sim = self.sim
+        dur = self._task_duration(self.tasks[0])
+        q, r = divmod(len(self.tasks), self.n_slots)
+        if self.epilogue is None:
+            # Only the joint finish is observable: the slot(s) with the
+            # largest task count end last.
+            end = sim.now
+            for _ in range(q + (1 if r else 0)):
+                end += dur
+            yield sim.timeout_at(end)
+            return
         slots = [
             self.sim.process(
-                self._slot_loop(SlotContext(self.sim, self.gpu, self,
+                self._slot_fast(SlotContext(self.sim, self.gpu, self,
                                             slot_id=s, occupancy=self.occupancy,
-                                            trace=self.trace), queue),
+                                            trace=self.trace),
+                                q + (1 if s < r else 0), dur),
                 name=f"{self.name}/slot{s}")
             for s in range(self.n_slots)
         ]
         yield self.sim.all_of(slots)
-        self.trace.record(self.sim.now, "kernel_end", self.gpu.name,
-                          kernel=self.name)
 
-    def _slot_loop(self, ctx: SlotContext, queue: deque) -> Generator:
-        spec = self.gpu.spec
+    def _slot_fast(self, ctx: SlotContext, count: int, dur: float) -> Generator:
+        sim = self.sim
+        end = sim.now
+        for _ in range(count):
+            end += dur
+        yield sim.timeout_at(end)
+        epi = self.epilogue(ctx)
+        if epi is not None:
+            yield from epi
+
+    def _slot_loop(self, ctx: SlotContext, queue: deque,
+                   fast: bool = False) -> Generator:
+        sim = self.sim
+        occ = self.occupancy
+        wg_duration = self.gpu.wg_duration
+        dispatch = self.gpu.spec.wg_dispatch_overhead
+        tracing = self.trace.enabled
+        # Run-length batching inside one slot is only sound when no other
+        # slot contends for the queue (see module docstring).
+        batch = fast and self.n_slots == 1
+        popleft = queue.popleft
         while queue:
-            task = queue.popleft()
-            ctx.record("wg_start", task=task.task_id, **task.meta)
+            task = popleft()
+            if tracing:
+                ctx.record("wg_start", task=task.task_id, **task.meta)
             if task.compute is not None:
                 task.compute()
-            dur = task.repeat * (
-                self.gpu.wg_duration(task.cost, self.occupancy)
-                + spec.wg_dispatch_overhead)
-            yield self.sim.timeout(dur)
-            ctx.record("wg_end", task=task.task_id)
+            dur = task.repeat * (wg_duration(task.cost, occ) + dispatch)
+            if batch and task.on_complete is None:
+                # Swallow the run of consecutive tasks with no side effects
+                # and the same duration.  ``end`` replays the per-task
+                # ``now + dur`` accumulation so the wake-up lands on the
+                # bit-identical timestamp, scheduled absolutely.
+                end = sim.now + dur
+                cost, repeat = task.cost, task.repeat
+                while queue:
+                    nxt = queue[0]
+                    if (nxt.on_complete is not None
+                            or nxt.compute is not None
+                            or nxt.repeat != repeat
+                            or not (nxt.cost is cost or nxt.cost == cost)):
+                        break
+                    popleft()
+                    end += dur
+                yield sim.timeout_at(end)
+                continue
+            yield sim.timeout(dur)
+            if tracing:
+                ctx.record("wg_end", task=task.task_id)
             if task.on_complete is not None:
                 hook = task.on_complete(ctx, task)
                 if hook is not None:

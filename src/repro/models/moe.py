@@ -10,7 +10,7 @@ maps the per-expert GEMM onto the fused operator's workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -44,27 +44,56 @@ def top_k_gating(logits: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
 
 @dataclass
 class MoeLayer:
-    """An expert-parallel MoE layer: one (single-matrix) expert per rank."""
+    """An expert-parallel MoE layer: one (single-matrix) expert per rank.
 
-    expert_weights: List[np.ndarray]   #: per-expert (model_dim, ffn_dim)
-    router: np.ndarray                 #: (model_dim, experts)
+    When :meth:`create` owns the generator (no ``rng`` passed), expert and
+    router weights are materialized lazily on first access, so mapping a
+    paper-scale layer onto a simulated workload (:meth:`gemm_config`) costs
+    nothing.  A caller-supplied ``rng`` is consumed eagerly, as before, so
+    the caller's stream position stays exactly where the eager API left it.
+    """
+
+    cfg: MoeLayerConfig
+    rng: np.random.Generator = field(repr=False)
     top_k: int = 2
+    _weights: Optional[Tuple[List[np.ndarray], np.ndarray]] = \
+        field(default=None, init=False, repr=False)
 
     @classmethod
     def create(cls, cfg: MoeLayerConfig,
                rng: Optional[np.random.Generator] = None) -> "MoeLayer":
         cfg.validate()
-        rng = rng if rng is not None else np.random.default_rng(0)
-        scale = 1.0 / np.sqrt(cfg.model_dim)
-        experts = [(rng.standard_normal((cfg.model_dim, cfg.ffn_dim)) * scale)
-                   .astype(np.float32) for _ in range(cfg.num_experts)]
-        router = (rng.standard_normal((cfg.model_dim, cfg.num_experts))
-                  * scale).astype(np.float32)
-        return cls(expert_weights=experts, router=router, top_k=cfg.top_k)
+        layer = cls(cfg, rng if rng is not None else np.random.default_rng(0),
+                    top_k=cfg.top_k)
+        if rng is not None:
+            layer._materialize()
+        return layer
+
+    def _materialize(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        if self._weights is None:
+            cfg, rng = self.cfg, self.rng
+            scale = 1.0 / np.sqrt(cfg.model_dim)
+            experts = [(rng.standard_normal((cfg.model_dim, cfg.ffn_dim))
+                        * scale).astype(np.float32)
+                       for _ in range(cfg.num_experts)]
+            router = (rng.standard_normal((cfg.model_dim, cfg.num_experts))
+                      * scale).astype(np.float32)
+            self._weights = (experts, router)
+        return self._weights
+
+    @property
+    def expert_weights(self) -> List[np.ndarray]:
+        """Per-expert ``(model_dim, ffn_dim)`` weights."""
+        return self._materialize()[0]
+
+    @property
+    def router(self) -> np.ndarray:
+        """``(model_dim, experts)`` router weights."""
+        return self._materialize()[1]
 
     @property
     def num_experts(self) -> int:
-        return len(self.expert_weights)
+        return self.cfg.num_experts
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Reference forward pass (dense equivalent of dispatch/combine).
@@ -104,6 +133,6 @@ class MoeLayer:
         paper assumes)."""
         return GemmA2AConfig(
             tokens=tokens_per_expert,
-            model_dim=self.expert_weights[0].shape[0],
-            ffn_dim=self.expert_weights[0].shape[1],
+            model_dim=self.cfg.model_dim,
+            ffn_dim=self.cfg.ffn_dim,
             block_m=block_m, block_n=block_n, functional=functional)

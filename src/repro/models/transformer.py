@@ -10,8 +10,8 @@ operator's workload description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -24,33 +24,62 @@ __all__ = ["TensorParallelMlp"]
 
 @dataclass
 class TensorParallelMlp:
-    """One FFN block sharded across ``world`` tensor-parallel ranks."""
+    """One FFN block sharded across ``world`` tensor-parallel ranks.
 
-    w0_shards: List[np.ndarray]   #: per-rank (hidden, ffn/world)
-    w1_shards: List[np.ndarray]   #: per-rank (ffn/world, hidden)
+    When :meth:`create` owns the generator (no ``rng`` passed), weight
+    shards are materialized lazily on first access: callers that only map
+    the block onto a simulated workload (:meth:`gemv_config`) never pay for
+    drawing paper-scale weight matrices — at ``hidden=8192`` that is half a
+    billion gaussians.  A caller-supplied ``rng`` is consumed eagerly, as
+    before, so the caller's stream position stays exactly where the eager
+    API left it.
+    """
+
+    cfg: TransformerMlpConfig
+    rng: np.random.Generator = field(repr=False)
+    _weights: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = \
+        field(default=None, init=False, repr=False)
 
     @classmethod
     def create(cls, cfg: TransformerMlpConfig,
                rng: Optional[np.random.Generator] = None
                ) -> "TensorParallelMlp":
         cfg.validate()
-        rng = rng if rng is not None else np.random.default_rng(0)
-        cols = cfg.shard_columns()
-        scale0 = 1.0 / np.sqrt(cfg.hidden)
-        scale1 = 1.0 / np.sqrt(cfg.ffn)
-        w0 = [(rng.standard_normal((cfg.hidden, cols)) * scale0)
-              .astype(np.float32) for _ in range(cfg.tensor_parallel)]
-        w1 = [(rng.standard_normal((cols, cfg.hidden)) * scale1)
-              .astype(np.float32) for _ in range(cfg.tensor_parallel)]
-        return cls(w0_shards=w0, w1_shards=w1)
+        mlp = cls(cfg, rng if rng is not None else np.random.default_rng(0))
+        if rng is not None:
+            mlp._materialize()
+        return mlp
+
+    def _materialize(self) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        if self._weights is None:
+            cfg, rng = self.cfg, self.rng
+            cols = cfg.shard_columns()
+            scale0 = 1.0 / np.sqrt(cfg.hidden)
+            scale1 = 1.0 / np.sqrt(cfg.ffn)
+            w0 = [(rng.standard_normal((cfg.hidden, cols)) * scale0)
+                  .astype(np.float32) for _ in range(cfg.tensor_parallel)]
+            w1 = [(rng.standard_normal((cols, cfg.hidden)) * scale1)
+                  .astype(np.float32) for _ in range(cfg.tensor_parallel)]
+            self._weights = (w0, w1)
+        return self._weights
+
+    @property
+    def w0_shards(self) -> List[np.ndarray]:
+        """Per-rank ``(hidden, ffn/world)`` weight shards."""
+        return self._materialize()[0]
+
+    @property
+    def w1_shards(self) -> List[np.ndarray]:
+        """Per-rank ``(ffn/world, hidden)`` weight shards."""
+        return self._materialize()[1]
 
     @property
     def world(self) -> int:
-        return len(self.w0_shards)
+        return self.cfg.tensor_parallel
 
     @property
     def hidden(self) -> int:
-        return self.w0_shards[0].shape[0]
+        return self.cfg.hidden
 
     # -- functional ---------------------------------------------------------
     def partial_output(self, rank: int, x: np.ndarray) -> np.ndarray:
@@ -76,5 +105,5 @@ class TensorParallelMlp:
         N per GPU = ffn/world.
         """
         return GemvAllReduceConfig(
-            m=self.hidden, n_per_gpu=self.w1_shards[0].shape[0],
+            m=self.cfg.hidden, n_per_gpu=self.cfg.shard_columns(),
             tile_rows=tile_rows, functional=functional)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..hw.gpu import Gpu, KernelResources, WgCost
 from .activation import ACTIVATIONS
-from .gemm import gemm, gemm_tile_grid, gemm_wg_cost
+from .gemm import gemm, gemm_wg_cost
 
 __all__ = ["Mlp", "mlp_flops", "mlp_time_on_gpu"]
 

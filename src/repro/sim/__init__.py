@@ -11,7 +11,7 @@ from .engine import (
     Timeout,
 )
 from .resources import FairShareLink, FifoChannel, Mailbox, Resource
-from .trace import Span, TraceEvent, TraceRecorder
+from .trace import NULL_TRACE, Span, TraceEvent, TraceRecorder
 
 __all__ = [
     "AllOf",
@@ -21,6 +21,7 @@ __all__ = [
     "FifoChannel",
     "Interrupt",
     "Mailbox",
+    "NULL_TRACE",
     "Process",
     "Resource",
     "SimulationError",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
-__all__ = ["TraceEvent", "TraceRecorder", "Span"]
+__all__ = ["TraceEvent", "TraceRecorder", "Span", "NULL_TRACE"]
 
 
 @dataclass(frozen=True)
@@ -65,8 +65,9 @@ class TraceRecorder:
         self.events: list[TraceEvent] = []
 
     def record(self, time: float, kind: str, actor: str, **detail: Any) -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time, kind, actor, detail))
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, kind, actor, detail))
 
     def clear(self) -> None:
         self.events.clear()
@@ -151,3 +152,33 @@ class TraceRecorder:
         lines.append(f"{'':<{label_w}}|{'-' * width}|")
         lines.append(f"{'':<{label_w}} t0={t0:.3e}s  t1={t1:.3e}s")
         return "\n".join(lines)
+
+
+class _NullTraceRecorder(TraceRecorder):
+    """A permanently-disabled recorder whose ``record`` is a true no-op.
+
+    Shared as the module-level :data:`NULL_TRACE` singleton by every
+    component that is constructed without an explicit trace — one object for
+    the whole process instead of a fresh disabled ``TraceRecorder`` per GPU,
+    and zero per-record work on the hot path.  Do not enable it; pass a real
+    :class:`TraceRecorder` where tracing is wanted.
+    """
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NULL_TRACE cannot be enabled; pass a TraceRecorder() "
+                "instance where tracing is wanted")
+
+    def record(self, time: float, kind: str, actor: str,
+               **detail: Any) -> None:
+        return None
+
+
+#: Process-wide disabled trace recorder (see :class:`_NullTraceRecorder`).
+NULL_TRACE = _NullTraceRecorder(enabled=False)

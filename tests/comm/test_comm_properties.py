@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import CollectiveLibrary, Communicator
+from repro.comm import Communicator
 from repro.hw import build_cluster
 from repro.sim import Simulator
 

@@ -232,6 +232,51 @@ def test_all_of_collects_values():
     assert sim.run_process(proc(sim)) == ["a", "b"]
 
 
+def test_timeout_at_absolute_time():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        got = yield sim.timeout_at(4.0, value="abs")
+        return (sim.now, got)
+
+    assert sim.run_process(proc(sim)) == (4.0, "abs")
+
+
+def test_timeout_at_past_raises():
+    sim = Simulator()
+    sim.timeout(2.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.timeout_at(1.0)
+
+
+def test_all_of_without_values_is_plain_barrier():
+    """No component carries a value -> the condition value is an empty
+    dict (no per-event collection on the hot path)."""
+    sim = Simulator()
+
+    def proc(sim):
+        got = yield sim.all_of([sim.timeout(1.0), sim.timeout(2.0)])
+        return got
+
+    assert sim.run_process(proc(sim)) == {}
+
+
+def test_any_of_identifies_winner_without_value():
+    """AnyOf's result names the winning event even when it carries no
+    value (unlike AllOf, whose dict holds no information by fire time)."""
+    sim = Simulator()
+
+    def proc(sim):
+        slow = sim.timeout(5.0)
+        fast = sim.timeout(1.0)
+        got = yield sim.any_of([slow, fast])
+        return (fast in got, slow in got)
+
+    assert sim.run_process(proc(sim)) == (True, False)
+
+
 def test_run_until_stops_early():
     sim = Simulator()
 

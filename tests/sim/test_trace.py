@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import TraceRecorder
+from repro.sim import NULL_TRACE, TraceRecorder
 
 
 def make_trace():
@@ -77,6 +77,35 @@ def test_unmatched_open_span_dropped():
     tr = TraceRecorder()
     tr.record(0.0, "wg_start", "a")
     assert tr.spans("wg") == []
+
+
+def test_unmatched_trailing_start_after_closed_spans():
+    """A start with no end (sim ended mid-span) is dropped, but every
+    previously closed span of the same actor is still returned."""
+    tr = TraceRecorder()
+    tr.record(0.0, "wg_start", "a", task=0)
+    tr.record(1.0, "wg_end", "a", task=0)
+    tr.record(1.0, "wg_start", "a", task=1)  # trailing, never closed
+    spans = tr.spans("wg")
+    assert [(s.start, s.end) for s in spans] == [(0.0, 1.0)]
+    assert spans[0].detail["task"] == 0
+    # Other actors' spans are unaffected by a's dangling start.
+    tr.record(2.0, "wg_start", "b")
+    tr.record(3.0, "wg_end", "b")
+    assert [(s.start, s.end) for s in tr.spans("wg")] == [(0.0, 1.0),
+                                                          (2.0, 3.0)]
+
+
+def test_null_trace_is_disabled_and_inert():
+    assert not NULL_TRACE.enabled
+    NULL_TRACE.record(0.0, "wg_start", "x", task=1)
+    assert len(NULL_TRACE) == 0
+
+
+def test_null_trace_cannot_be_enabled():
+    with pytest.raises(ValueError):
+        NULL_TRACE.enabled = True
+    assert not NULL_TRACE.enabled
 
 
 def test_render_timeline_contains_rows_and_markers():
