@@ -5,6 +5,13 @@ measured quantity is simulated execution time, which is deterministic, so
 statistical repetition would only re-run identical work.  The rendered
 table is printed (visible with ``-s`` or in captured output) and the
 aggregates land in ``benchmark.extra_info`` / the JSON report.
+
+The figure/ablation tests execute through the experiment orchestrator
+(``repro.experiments.regenerate``) — the same sweeps that back
+``python -m repro``.  By default every scenario is simulated fresh (a
+test run must measure the current code); set ``REPRO_CACHE_DIR`` to
+reuse the content-addressed store and ``REPRO_WORKERS=N`` to shard
+uncached scenarios across processes.
 """
 
 import pytest

@@ -4,33 +4,15 @@ The paper notes GPU threads can alternatively trigger NIC communication
 through a CPU proxy (e.g. MSCCL++-style).  The proxy adds a
 doorbell-to-submission latency to every remote transaction; with thousands
 of slice-granular messages, direct GPU initiation is the better fit for
-the fused kernels — which this ablation quantifies.
+the fused kernels — quantified by the ``ablation-cpu-proxy`` sweep
+registered in ``repro.experiments``.
 """
 
-from repro.bench.harness import FigureResult, Row
-from repro.fused import EmbeddingA2AConfig, FusedEmbeddingAllToAll, OpHarness
-
-
-def run_ablation(batch: int = 1024, tables: int = 64) -> FigureResult:
-    res = FigureResult("Ablation", "GPU-initiated vs CPU-proxy networking")
-    times = {}
-    for proxy in (False, True):
-        cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
-                                 functional=False)
-        h = OpHarness(num_nodes=2, gpus_per_node=1, cpu_proxy=proxy)
-        times[proxy] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
-    res.add(Row(label="gpu-initiated", fused_time=times[False],
-                baseline_time=times[True]))
-    res.add(Row(label="cpu-proxy", fused_time=times[True],
-                baseline_time=times[True]))
-    res.extra["proxy_penalty"] = (
-        f"{100 * (times[True] / times[False] - 1):.2f}% slower through "
-        f"the proxy")
-    return res
+from repro.experiments import regenerate
 
 
 def test_ablation_cpu_proxy(run_figure):
-    res = run_figure(run_ablation)
+    res = run_figure(regenerate, "ablation-cpu-proxy")
     t = {r.label: r.fused_time for r in res.rows}
     # Direct GPU initiation is never slower; the proxy's per-message
     # latency is mostly hidden by overlap but shows at the tail.

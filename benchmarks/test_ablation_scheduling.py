@@ -1,32 +1,16 @@
 """Ablation: end-to-end cost of communication-oblivious scheduling.
 
-Fig. 14 reports per-node *skew*; this ablation reports the end-to-end
+Fig. 14 reports per-node *skew*; this ablation (registered as
+``ablation-scheduling`` in ``repro.experiments``) reports the end-to-end
 execution-time cost of scheduling local slices first (remote transfers
 start late and their tail is exposed at the epilogue).
 """
 
-from repro.bench.harness import FigureResult, Row
-from repro.fused import EmbeddingA2AConfig, FusedEmbeddingAllToAll, OpHarness
-
-
-def run_ablation() -> FigureResult:
-    res = FigureResult("Ablation", "scheduling policy, end-to-end time")
-    for batch, tables in ((1024, 64), (2048, 64)):
-        times = {}
-        for sched in ("comm_aware", "oblivious"):
-            cfg = EmbeddingA2AConfig(global_batch=batch,
-                                     tables_per_gpu=tables,
-                                     functional=False, scheduler=sched)
-            h = OpHarness(num_nodes=2, gpus_per_node=1)
-            times[sched] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
-        res.add(Row(label=f"{batch}|{tables}",
-                    fused_time=times["comm_aware"],
-                    baseline_time=times["oblivious"]))
-    return res
+from repro.experiments import regenerate
 
 
 def test_ablation_scheduling(run_figure):
-    res = run_figure(run_ablation)
+    res = run_figure(regenerate, "ablation-scheduling")
     # Comm-aware never loses end-to-end (fused=aware, baseline=oblivious).
     for r in res.rows:
         assert r.normalized <= 1.0

@@ -5,37 +5,15 @@ earlier and pipeline better, but pay the per-slice API latency, bookkeeping
 flags, and NIC message-rate cost more often; large slices amortize the
 overheads but delay communication and leave less to overlap.  The paper
 uses 32 embedding vectors per slice for its inter-node runs; this sweep
-shows that choice sitting in the flat region of the trade-off.
+(registered as ``ablation-slice-size`` in ``repro.experiments``) shows
+that choice sitting in the flat region of the trade-off.
 """
 
-from repro.bench.harness import FigureResult, Row
-from repro.fused import EmbeddingA2AConfig, FusedEmbeddingAllToAll, OpHarness
-
-SLICES = (8, 16, 32, 64, 128)
-
-
-def run_sweep(batch: int = 1024, tables: int = 64) -> FigureResult:
-    res = FigureResult("Ablation",
-                       f"slice-size sweep, inter-node {batch}|{tables}")
-    times = {}
-    for sv in SLICES:
-        # Occupancy pinned to the fused kernel's maximum so the sweep
-        # isolates communication granularity from grid-size effects.
-        cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
-                                 functional=False, slice_vectors=sv,
-                                 occupancy_of_baseline=0.875)
-        h = OpHarness(num_nodes=2, gpus_per_node=1)
-        times[sv] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
-    worst = max(times.values())
-    for sv in SLICES:
-        res.add(Row(label=f"slice={sv}", fused_time=times[sv],
-                    baseline_time=worst))
-    res.extra["times_us"] = {sv: round(t * 1e6, 1) for sv, t in times.items()}
-    return res
+from repro.experiments import regenerate
 
 
 def test_ablation_slice_size(run_figure):
-    res = run_figure(run_sweep)
+    res = run_figure(regenerate, "ablation-slice-size")
     t = {r.label: r.fused_time for r in res.rows}
     # The paper's choice (32) is within 5% of the best point of the sweep.
     best = min(t.values())

@@ -2,39 +2,16 @@
 
 The paper's scale-up fused kernels store results *directly* into the peer
 GPU's destination buffer, eliminating the intermediate local store.  This
-ablation disables only that optimization (the kernel still fuses and
-overlaps) to isolate its contribution to the intra-node win.
+ablation (registered as ``ablation-zero-copy`` in ``repro.experiments``)
+disables only that optimization (the kernel still fuses and overlaps) to
+isolate its contribution to the intra-node win.
 """
 
-from repro.bench.harness import FigureResult, compare
-from repro.fused import (
-    BaselineEmbeddingAllToAll,
-    EmbeddingA2AConfig,
-    FusedEmbeddingAllToAll,
-)
-
-
-def run_ablation() -> FigureResult:
-    res = FigureResult("Ablation", "zero-copy contribution (intra-node)")
-    for batch, tables in ((1024, 64), (2048, 128)):
-        for zero_copy in (True, False):
-            cfg = EmbeddingA2AConfig(global_batch=batch,
-                                     tables_per_gpu=tables,
-                                     functional=False, zero_copy=zero_copy)
-            row = compare(
-                f"{batch}|{tables} zc={'on' if zero_copy else 'off'}",
-                lambda h, cfg=cfg: FusedEmbeddingAllToAll(h, cfg),
-                lambda h, cfg=cfg: BaselineEmbeddingAllToAll(
-                    h, EmbeddingA2AConfig(global_batch=cfg.global_batch,
-                                          tables_per_gpu=cfg.tables_per_gpu,
-                                          functional=False)),
-                num_nodes=1, gpus_per_node=4)
-            res.add(row)
-    return res
+from repro.experiments import regenerate
 
 
 def test_ablation_zero_copy(run_figure):
-    res = run_figure(run_ablation)
+    res = run_figure(regenerate, "ablation-zero-copy")
     norm = {r.label: r.normalized for r in res.rows}
     for batch, tables in ((1024, 64), (2048, 128)):
         on = norm[f"{batch}|{tables} zc=on"]

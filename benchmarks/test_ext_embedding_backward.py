@@ -4,32 +4,14 @@ The paper's Fig. 15 overlaps embedding work with its All-to-All in *both*
 passes; the hardware prototypes cover the forward direction.  This
 extension operator implements the backward fusion (receiver-driven: apply
 tasks scatter-add each gradient slice as it arrives) and benchmarks it the
-same way as the forward figures.
+same way as the forward figures, through the ``ext-embedding-backward``
+sweep registered in ``repro.experiments``.
 """
 
-from repro.bench.harness import FigureResult, compare
-from repro.fused import (
-    BaselineEmbeddingGradAllToAll,
-    EmbeddingA2AConfig,
-    FusedEmbeddingGradAllToAll,
-)
-
-
-def run_backward_figure() -> FigureResult:
-    res = FigureResult("Extension",
-                       "fused gradient A2A + scatter-add (inter-node)")
-    for batch, tables in ((256, 64), (1024, 64), (1024, 256), (4096, 64)):
-        cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
-                                 functional=False)
-        res.add(compare(
-            cfg.label,
-            lambda h, cfg=cfg: FusedEmbeddingGradAllToAll(h, cfg),
-            lambda h, cfg=cfg: BaselineEmbeddingGradAllToAll(h, cfg),
-            num_nodes=2, gpus_per_node=1))
-    return res
+from repro.experiments import regenerate
 
 
 def test_ext_embedding_backward(run_figure):
-    res = run_figure(run_backward_figure)
+    res = run_figure(regenerate, "ext-embedding-backward")
     assert all(r.normalized < 1.0 for r in res.rows)
     assert res.mean_normalized < 0.95

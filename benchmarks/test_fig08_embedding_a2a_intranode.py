@@ -5,11 +5,11 @@ execution time than bulk-synchronous pooling kernels + RCCL blit A2A, with
 less benefit at small batch sizes (small All-to-All latency).
 """
 
-from repro.bench import fig8_embedding_a2a_intranode
+from repro.experiments import regenerate
 
 
 def test_fig08_embedding_a2a_intranode(run_figure):
-    res = run_figure(fig8_embedding_a2a_intranode)
+    res = run_figure(regenerate, "fig8")
     # Shape assertions: fused wins everywhere, by roughly the paper's factor.
     assert all(r.normalized < 1.0 for r in res.rows)
     assert 0.6 < res.mean_normalized < 0.95

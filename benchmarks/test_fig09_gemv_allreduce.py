@@ -5,11 +5,11 @@ for the largest output vectors (M = 64k) as fabric-link contention grows
 and the GEMV dominates.
 """
 
-from repro.bench import fig9_gemv_allreduce
+from repro.experiments import regenerate
 
 
 def test_fig09_gemv_allreduce(run_figure):
-    res = run_figure(fig9_gemv_allreduce)
+    res = run_figure(regenerate, "fig9")
     assert all(r.normalized < 1.0 for r in res.rows)
     assert 0.75 < res.mean_normalized < 0.95
     # Crossover shape: 64k configs benefit least.

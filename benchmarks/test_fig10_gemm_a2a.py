@@ -4,10 +4,10 @@ Paper: 12% average (up to 20%) lower execution time; the generic GEMM
 dominates the runtime, limiting the benefit.
 """
 
-from repro.bench import fig10_gemm_a2a
+from repro.experiments import regenerate
 
 
 def test_fig10_gemm_a2a(run_figure):
-    res = run_figure(fig10_gemm_a2a)
+    res = run_figure(regenerate, "fig10")
     assert all(r.normalized < 1.0 for r in res.rows)
     assert 0.85 < res.mean_normalized < 0.99  # GEMM-dominated

@@ -5,11 +5,11 @@ grain overlap), mostly by the last WG of each 16-WG slice cluster, and the
 remote slices are computed before the locally consumed ones.
 """
 
-from repro.bench import fig11_wg_timeline
+from repro.experiments import regenerate
 
 
 def test_fig11_wg_timeline(run_figure):
-    res = run_figure(fig11_wg_timeline)
+    res = run_figure(regenerate, "fig11")
     assert res.extra["puts_issued_node0"] > 0
     # Puts start early in the kernel (comm-aware scheduling) and keep being
     # issued mid-kernel, not at the boundary.

@@ -5,11 +5,11 @@ batches benefit most because per-table baseline kernels leave the GPU
 underutilized while the fused kernel processes all tables in one kernel.
 """
 
-from repro.bench import fig12_embedding_a2a_internode
+from repro.experiments import regenerate
 
 
 def test_fig12_embedding_a2a_internode(run_figure):
-    res = run_figure(fig12_embedding_a2a_internode)
+    res = run_figure(regenerate, "fig12")
     assert all(r.normalized < 1.0 for r in res.rows)
     assert 0.4 < res.mean_normalized < 0.8
     # Smallest batch gets the biggest win (the paper's >full-overlap effect).

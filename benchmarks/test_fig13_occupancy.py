@@ -5,11 +5,11 @@ execution time by 46%; pushing on to the fused kernel's 87.5% maximum
 *increases* time by 25% — memory contention outweighing parallelism.
 """
 
-from repro.bench import fig13_occupancy_sweep
+from repro.experiments import regenerate
 
 
 def test_fig13_occupancy(run_figure):
-    res = run_figure(fig13_occupancy_sweep)
+    res = run_figure(regenerate, "fig13")
     t = {r.label: r.fused_time for r in res.rows}
     # U-shape: improves to 75%, degrades at 87.5%.
     assert t["75.0%"] < t["25.0%"]

@@ -5,11 +5,11 @@ two nodes (node 0 computes its local slices first, delaying node 1's
 epilogue); communication-aware scheduling reduces the skew to ~1%.
 """
 
-from repro.bench import fig14_scheduling_skew
+from repro.experiments import regenerate
 
 
 def test_fig14_sched_skew(run_figure):
-    res = run_figure(fig14_scheduling_skew)
+    res = run_figure(regenerate, "fig14")
     skews = res.extra["skews"]
     avg_aware = sum(skews["comm_aware"]) / len(skews["comm_aware"])
     avg_obliv = sum(skews["oblivious"]) / len(skews["oblivious"])

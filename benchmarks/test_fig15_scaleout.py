@@ -5,11 +5,11 @@ hides most of the embedding operations, reducing end-to-end training time
 by ~21% on 128 nodes.
 """
 
-from repro.bench import fig15_scaleout
+from repro.experiments import regenerate
 
 
 def test_fig15_scaleout(run_figure):
-    res = run_figure(fig15_scaleout)
+    res = run_figure(regenerate, "fig15")
     assert all(r.normalized < 1.0 for r in res.rows)
     r128 = {r.label: r.normalized for r in res.rows}["128 nodes"]
     assert 0.72 < r128 < 0.86  # paper: 0.79 (21% reduction)

@@ -1,10 +1,10 @@
 """Table I: system setup of the simulated substrate."""
 
-from repro.bench import table1_setup
+from repro.experiments import regenerate
 
 
 def test_table1_setup(run_figure):
-    res = run_figure(table1_setup)
+    res = run_figure(regenerate, "table1")
     assert "MI210" in res.extra["GPU"]
     assert "80 GB/s" in res.extra["Scale-up"]
     assert "20 GB/s" in res.extra["Scale-out"]

@@ -1,10 +1,10 @@
 """Table II: scale-out simulation parameters."""
 
-from repro.bench import table2_setup
+from repro.experiments import regenerate
 
 
 def test_table2_simsetup(run_figure):
-    res = run_figure(table2_setup)
+    res = run_figure(regenerate, "table2")
     assert res.extra["Embedding dimension"] == 92
     assert res.extra["Avg pooling size"] == 70
     assert "200 Gb/s" in res.extra["Topology"]

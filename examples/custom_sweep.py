@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Define and run a custom experiment sweep end-to-end.
+
+Shows the full orchestration surface on a user-defined scenario grid:
+
+1. a **custom runner** — any function returning JSON-able metrics can be a
+   scenario (here: fused-vs-baseline speedup across interconnect scaling);
+2. a **declarative grid** over operator configs via ``grid_params``;
+3. **cached, parallel execution** — the second ``run_sweep`` call serves
+   every scenario from ``.repro-cache`` records without simulating;
+4. the **baseline-comparison API** used for regression detection.
+
+The same sweep is also reachable from the command line once registered:
+
+    python examples/custom_sweep.py            # this script
+    python -m repro list                       # the built-in sweeps
+
+Because the parallel runner spawns worker processes that re-import this
+file, the module level must stay import-safe: definitions (runners,
+sweeps) at the top, execution strictly under ``if __name__ == "__main__"``.
+
+Run:  python examples/custom_sweep.py
+"""
+
+import tempfile
+
+from repro.experiments import (
+    ResultStore,
+    SweepSpec,
+    compare_to_baseline,
+    grid_params,
+    register_sweep,
+    report_json,
+    run_sweep,
+    runner,
+    scenario,
+)
+from repro.fused import (
+    BaselineEmbeddingAllToAll,
+    EmbeddingA2AConfig,
+    FusedEmbeddingAllToAll,
+    OpHarness,
+)
+
+
+@runner("example_batch_vs_slice")
+def batch_vs_slice(params):
+    """One fused/baseline pair; the grid explores batch x slice size."""
+    cfg = EmbeddingA2AConfig(global_batch=params["global_batch"],
+                             tables_per_gpu=params["tables_per_gpu"],
+                             slice_vectors=params["slice_vectors"],
+                             functional=False)
+    h1 = OpHarness(num_nodes=2, gpus_per_node=1)
+    fused = h1.run(FusedEmbeddingAllToAll(h1, cfg))
+    h2 = OpHarness(num_nodes=2, gpus_per_node=1)
+    base = h2.run(BaselineEmbeddingAllToAll(h2, cfg))
+    return {"fused_time": fused.elapsed, "baseline_time": base.elapsed}
+
+
+#: The declarative grid: 2 batches x 2 slice sizes, tables held constant.
+GRID = grid_params(global_batch=(256, 512), slice_vectors=(16, 32),
+                   tables_per_gpu=32)
+
+CUSTOM_SWEEP = register_sweep(SweepSpec.make(
+    "example-batch-vs-slice",
+    "Example",
+    [scenario("example_batch_vs_slice",
+              label=f"b={p['global_batch']}|sv={p['slice_vectors']}", **p)
+     for p in GRID],
+    assembler="rows",
+    figure="Example",
+    description="fused vs baseline across batch and slice granularity"))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        store = ResultStore(cache_dir)   # real runs would use .repro-cache
+
+        # First run simulates every scenario (2 workers, sharded).
+        first = run_sweep(CUSTOM_SWEEP, store=store, workers=2)
+        print(first.figure().render())
+        print(f"\nfirst run:  {first.executed} executed, "
+              f"{first.cache_hits} cached")
+
+        # Second run: every record is served from the store.
+        second = run_sweep(CUSTOM_SWEEP, store=store)
+        print(f"second run: {second.executed} executed, "
+              f"{second.cache_hits} cached")
+        assert second.executed == 0
+        assert report_json(second.report()) == report_json(first.report())
+
+        # Regression detection: diff against a stored baseline report.
+        diff = compare_to_baseline(second, first.report())
+        print(f"baseline comparison: "
+              f"{'match' if diff.ok else diff.render()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,46 @@ class FigureResult:
             out["paper_best"] = self.paper_best
         return out
 
+    def to_json_dict(self) -> Dict:
+        """Full machine-readable export (the experiment store's payload).
+
+        Everything needed to reconstruct the figure: rows with exact
+        (unrounded) times, paper aggregates, and the ``extra`` mapping.
+        ``extra`` values must be JSON-representable — true for every
+        figure this package produces.
+        """
+        return {
+            "schema": "repro.bench.figure/v1",
+            "figure": self.figure,
+            "description": self.description,
+            "rows": [
+                {"label": r.label, "fused_time": r.fused_time,
+                 "baseline_time": r.baseline_time}
+                for r in self.rows
+            ],
+            "paper_mean": self.paper_mean,
+            "paper_best": self.paper_best,
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self) -> str:
+        """Stable JSON string form of :meth:`to_json_dict`."""
+        import json
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "FigureResult":
+        """Inverse of :meth:`to_json_dict` (round-trips exactly)."""
+        res = cls(figure=payload["figure"],
+                  description=payload["description"],
+                  paper_mean=payload.get("paper_mean"),
+                  paper_best=payload.get("paper_best"),
+                  extra=dict(payload.get("extra", {})))
+        for row in payload.get("rows", ()):
+            res.add(Row(label=row["label"], fused_time=row["fused_time"],
+                        baseline_time=row["baseline_time"]))
+        return res
+
 
 def compare(label: str, fused_factory: Callable, baseline_factory: Callable,
             num_nodes: int, gpus_per_node: int,

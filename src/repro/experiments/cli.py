@@ -1,0 +1,162 @@
+"""``python -m repro`` — the command-line surface of the orchestrator.
+
+Subcommands::
+
+    list                      registered sweeps and their sizes
+    run SWEEP [SWEEP...]      execute sweeps (cache-aware, parallel)
+    report SWEEP [SWEEP...]   render sweeps (fully-cached runs are instant)
+    diff OLD NEW              compare two sweep report JSON files
+
+``run``/``report`` share the cache flags: ``--cache DIR`` (default
+``.repro-cache``), ``--no-cache``, ``--force``.  ``run all`` runs every
+registered sweep.  ``diff`` exits non-zero when the reports disagree, so
+it doubles as a CI regression gate against a committed baseline report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .registry import get_sweep, list_sweeps
+from .report import diff_reports, load_report, render_report, report_json
+from .execution import default_workers, run_sweep
+from .store import DEFAULT_CACHE_DIR, ResultStore
+
+__all__ = ["main"]
+
+
+def _resolve_names(names: Sequence[str]) -> List[str]:
+    if "all" in names:
+        return [s.name for s in list_sweeps()]
+    return list(names)
+
+
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    if args.no_cache:
+        return None
+    return ResultStore(args.cache)
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done, total, outcome):
+        state = "cached" if outcome.cached else "ran"
+        label = outcome.spec.label or outcome.spec.runner
+        print(f"  [{done}/{total}] {label}: {state}", file=sys.stderr)
+
+    return progress
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    sweeps = list_sweeps()
+    width = max(len(s.name) for s in sweeps)
+    for sweep in sweeps:
+        print(f"{sweep.name:<{width}}  {len(sweep):>3} scenario(s)  "
+              f"{sweep.title}: {sweep.description}")
+    return 0
+
+
+def _run_and_render(args: argparse.Namespace, expect_cached: bool) -> int:
+    store = _make_store(args)
+    report_dir = getattr(args, "report_dir", None)
+    if report_dir is not None:
+        Path(report_dir).mkdir(parents=True, exist_ok=True)
+    status = 0
+    for name in _resolve_names(args.sweeps):
+        sweep = get_sweep(name)
+        print(f"== {name} ({len(sweep)} scenarios) ==", file=sys.stderr)
+        run = run_sweep(sweep, store=store, workers=args.workers,
+                        force=args.force,
+                        progress=_progress_printer(args.quiet))
+        report = run.report()
+        print(render_report(report))
+        print(f"{name}: {len(sweep)} scenarios, {run.cache_hits} cached, "
+              f"{run.executed} executed", file=sys.stderr)
+        print()
+        if report_dir is not None:
+            out = Path(report_dir) / f"{name}.json"
+            out.write_text(report_json(report), encoding="utf-8")
+            print(f"wrote {out}", file=sys.stderr)
+        if expect_cached and run.executed:
+            print(f"::error::{name}: expected a fully cached run but "
+                  f"{run.executed} scenario(s) executed", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _run_and_render(args, expect_cached=args.expect_cached)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    args.force = False
+    return _run_and_render(args, expect_cached=False)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_reports(load_report(args.old), load_report(args.new),
+                        rtol=args.rtol)
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", default=DEFAULT_CACHE_DIR,
+                        help="result-store directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result store entirely")
+    parser.add_argument("--workers", type=int, default=default_workers(),
+                        help="worker processes for uncached scenarios "
+                             "(default: $REPRO_WORKERS or 1)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-scenario progress lines")
+    parser.add_argument("--report-dir", default=None,
+                        help="also write <sweep>.json report files here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, cache, and compare the paper's evaluation sweeps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered sweeps"
+                   ).set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="execute sweeps")
+    p_run.add_argument("sweeps", nargs="+",
+                       help="sweep names (or 'all')")
+    _add_cache_args(p_run)
+    p_run.add_argument("--force", action="store_true",
+                       help="re-execute scenarios even on cache hits")
+    p_run.add_argument("--expect-cached", action="store_true",
+                       help="fail unless every scenario is a cache hit "
+                            "(CI cache-behaviour gate)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render sweeps (cache-aware; cached runs are free)")
+    p_report.add_argument("sweeps", nargs="+", help="sweep names (or 'all')")
+    _add_cache_args(p_report)
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two sweep report JSON files")
+    p_diff.add_argument("old", help="baseline report path")
+    p_diff.add_argument("new", help="candidate report path")
+    p_diff.add_argument("--rtol", type=float, default=0.0,
+                        help="allowed relative deviation per metric "
+                             "(default: exact)")
+    p_diff.set_defaults(fn=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

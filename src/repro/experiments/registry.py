@@ -1,0 +1,151 @@
+"""Name-based registries for scenario runners, assemblers, and sweeps.
+
+Three registries back the orchestration subsystem:
+
+* **runners** — functions executing one scenario: ``fn(params) -> dict``
+  (or ``fn(params, seed) -> dict`` to receive the scenario's deterministic
+  seed).  The returned mapping must be JSON-representable; it becomes the
+  store's record payload.
+* **assemblers** — functions turning a sweep's scenario results back into
+  a :class:`~repro.bench.harness.FigureResult`:
+  ``fn(sweep, specs, results, **assembler_params)``.
+* **sweeps** — named :class:`~repro.experiments.specs.SweepSpec` instances
+  (the ported paper figures/ablations plus any user registrations).
+
+Lookup is by plain string so specs stay declarative and picklable: worker
+processes re-resolve names against their own imported registry.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Mapping
+
+from .specs import ScenarioSpec, SweepSpec
+
+__all__ = [
+    "runner",
+    "assembler",
+    "register_sweep",
+    "get_runner",
+    "get_assembler",
+    "get_sweep",
+    "list_sweeps",
+    "call_runner",
+    "ensure_registered",
+]
+
+RUNNERS: Dict[str, Callable[..., Mapping[str, Any]]] = {}
+ASSEMBLERS: Dict[str, Callable[..., Any]] = {}
+SWEEPS: Dict[str, SweepSpec] = {}
+
+#: Runners whose declared signature accepts the scenario seed.
+_SEEDED: Dict[str, bool] = {}
+
+
+def runner(name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register a scenario runner under ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in RUNNERS and RUNNERS[name] is not fn:
+            raise ValueError(f"runner {name!r} already registered")
+        n_params = len(inspect.signature(fn).parameters)
+        if n_params not in (1, 2):
+            raise TypeError(
+                f"runner {name!r} must accept (params) or (params, seed)")
+        RUNNERS[name] = fn
+        _SEEDED[name] = n_params == 2
+        return fn
+
+    return deco
+
+
+def assembler(name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register a result assembler under ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in ASSEMBLERS and ASSEMBLERS[name] is not fn:
+            raise ValueError(f"assembler {name!r} already registered")
+        ASSEMBLERS[name] = fn
+        return fn
+
+    return deco
+
+
+def register_sweep(spec: SweepSpec, overwrite: bool = False) -> SweepSpec:
+    """Register a sweep for lookup by name (CLI, tests, cache tooling)."""
+    if spec.name in SWEEPS and not overwrite:
+        raise ValueError(f"sweep {spec.name!r} already registered")
+    labels = [s.label for s in spec.scenarios]
+    if len(set(labels)) != len(labels):
+        dupes = sorted({x for x in labels if labels.count(x) > 1})
+        raise ValueError(
+            f"sweep {spec.name!r} has duplicate scenario labels: {dupes}")
+    SWEEPS[spec.name] = spec
+    return spec
+
+
+def get_runner(name: str) -> Callable[..., Mapping[str, Any]]:
+    ensure_registered()
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner {name!r}; registered: {sorted(RUNNERS)}"
+        ) from None
+
+
+def get_assembler(name: str) -> Callable[..., Any]:
+    ensure_registered()
+    try:
+        return ASSEMBLERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown assembler {name!r}; registered: {sorted(ASSEMBLERS)}"
+        ) from None
+
+
+def get_sweep(name: str) -> SweepSpec:
+    ensure_registered()
+    try:
+        return SWEEPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r}; registered: {sorted(SWEEPS)}"
+        ) from None
+
+
+def list_sweeps() -> List[SweepSpec]:
+    ensure_registered()
+    return [SWEEPS[name] for name in sorted(SWEEPS)]
+
+
+def call_runner(spec: ScenarioSpec) -> Mapping[str, Any]:
+    """Execute one scenario through its registered runner."""
+    fn = get_runner(spec.runner)
+    if _SEEDED[spec.runner]:
+        return fn(spec.params, spec.stable_seed())
+    return fn(spec.params)
+
+
+_registered = False
+_registering = False
+
+
+def ensure_registered() -> None:
+    """Import the built-in figure/ablation registrations (idempotent).
+
+    Worker processes call this on startup so name lookup works no matter
+    which module spawned them.  The done-flag is only set once the import
+    *succeeds*: a failed import propagates its real error again on the
+    next call instead of leaving an empty registry behind.
+    """
+    global _registered, _registering
+    if _registered or _registering:
+        return
+    _registering = True
+    try:
+        from . import figures  # noqa: F401  (import populates the registries)
+        _registered = True
+    finally:
+        _registering = False

@@ -1,0 +1,182 @@
+"""Diffable sweep reports and baseline comparison (regression detection).
+
+A sweep report is a deterministic JSON document: schema header, the sweep
+identity, one entry per scenario (spec, content key, result payload), and
+the assembled figure's JSON export.  It deliberately contains **no**
+volatile data — no timestamps, wall-clock times, host names, or
+cache-hit flags — so two runs that simulate the same physics produce
+byte-identical files, and ``diff``/``git diff`` on stored reports reads
+as pure signal.
+
+:func:`diff_reports` is the baseline-comparison API: match scenarios by
+label, compare every numeric leaf with a relative tolerance, and report
+added/removed scenarios and changed metrics.  CI uses it to fail on
+simulation regressions against a committed golden report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = ["REPORT_SCHEMA", "MetricChange", "ReportDiff", "build_report",
+           "report_json", "render_report", "diff_reports",
+           "load_report", "compare_to_baseline"]
+
+REPORT_SCHEMA = "repro.experiments.report/v1"
+
+
+def build_report(run) -> Dict[str, Any]:
+    """Deterministic JSON-able report for a completed :class:`SweepRun`."""
+    figure = run.figure()
+    return {
+        "schema": REPORT_SCHEMA,
+        "sweep": run.sweep.name,
+        "title": run.sweep.title,
+        "description": run.sweep.description,
+        "sweep_key": run.sweep.key(),
+        "scenarios": [
+            {
+                "label": o.spec.label,
+                "runner": o.spec.runner,
+                "key": o.key,
+                "params": o.spec.params,
+                "result": o.result,
+            }
+            for o in run.outcomes
+        ],
+        "figure": figure.to_json_dict(),
+    }
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """Stable serialization (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering: the assembled figure's table."""
+    from ..bench.harness import FigureResult
+    return FigureResult.from_json_dict(report["figure"]).render()
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if not isinstance(report, dict) or report.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"{path}: not a sweep report "
+                         f"(expected schema {REPORT_SCHEMA!r})")
+    return report
+
+
+@dataclass(frozen=True)
+class MetricChange:
+    """One numeric leaf that moved between two reports."""
+
+    label: str          #: scenario label
+    metric: str         #: dotted path inside the result payload
+    old: float
+    new: float
+
+    @property
+    def rel_delta(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 0.0
+        return (self.new - self.old) / abs(self.old)
+
+    def __str__(self) -> str:
+        return (f"{self.label}: {self.metric} {self.old!r} -> {self.new!r} "
+                f"({100 * self.rel_delta:+.2f}%)")
+
+
+@dataclass
+class ReportDiff:
+    """Outcome of comparing a sweep report against a baseline."""
+
+    sweep: str
+    added: List[str] = field(default_factory=list)     #: labels only in new
+    removed: List[str] = field(default_factory=list)   #: labels only in old
+    changed: List[MetricChange] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.sweep}: reports match"
+        lines = [f"{self.sweep}: reports differ"]
+        lines += [f"  + {label} (only in new)" for label in self.added]
+        lines += [f"  - {label} (only in old)" for label in self.removed]
+        lines += [f"  ~ {change}" for change in self.changed]
+        return "\n".join(lines)
+
+
+def _numeric_leaves(value: Any, prefix: str = "") -> Dict[str, float]:
+    """Flatten a JSON payload to its numeric leaves, dotted-path keyed."""
+    out: Dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for k in sorted(value):
+            out.update(_numeric_leaves(value[k], f"{prefix}.{k}" if prefix
+                                       else str(k)))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            out.update(_numeric_leaves(v, f"{prefix}[{i}]"))
+    return out
+
+
+def _by_label(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for i, entry in enumerate(report["scenarios"]):
+        label = entry.get("label") or f"#{i}"
+        if label in out:            # disambiguate duplicate labels by order
+            label = f"{label}#{i}"
+        out[label] = entry
+    return out
+
+
+def diff_reports(old: Dict[str, Any], new: Dict[str, Any],
+                 rtol: float = 0.0) -> ReportDiff:
+    """Compare two sweep reports; numeric leaves within ``rtol`` match.
+
+    Scenarios are matched by label (stable under code-schema bumps that
+    would change every content key).  ``rtol`` is the allowed relative
+    deviation per numeric metric — 0.0 demands exact equality, which is
+    the right default for this deterministic simulator.
+    """
+    diff = ReportDiff(sweep=new.get("sweep", "?"))
+    old_by, new_by = _by_label(old), _by_label(new)
+    diff.added = sorted(set(new_by) - set(old_by))
+    diff.removed = sorted(set(old_by) - set(new_by))
+    for label in (label for label in new_by if label in old_by):
+        old_leaves = _numeric_leaves(old_by[label]["result"])
+        new_leaves = _numeric_leaves(new_by[label]["result"])
+        for metric in sorted(set(old_leaves) | set(new_leaves)):
+            a = old_leaves.get(metric)
+            b = new_leaves.get(metric)
+            if a is None or b is None:
+                diff.changed.append(MetricChange(
+                    label, metric,
+                    float("nan") if a is None else a,
+                    float("nan") if b is None else b))
+                continue
+            tol = rtol * abs(a)
+            if abs(b - a) > tol:
+                diff.changed.append(MetricChange(label, metric, a, b))
+    return diff
+
+
+def compare_to_baseline(run_or_report, baseline: Union[str, Path, Dict],
+                        rtol: float = 0.0) -> ReportDiff:
+    """Diff a run (or report) against a stored baseline report file."""
+    if not isinstance(baseline, dict):
+        baseline = load_report(baseline)
+    report = (run_or_report if isinstance(run_or_report, dict)
+              else run_or_report.report())
+    return diff_reports(baseline, report, rtol=rtol)

@@ -1,0 +1,177 @@
+"""Declarative experiment specs: scenarios, sweeps, and parameter grids.
+
+A :class:`ScenarioSpec` names a registered runner plus a JSON-able
+parameter mapping; a :class:`SweepSpec` is an ordered collection of
+scenarios plus the name of an assembler that turns their results into a
+:class:`~repro.bench.harness.FigureResult`.  Both are frozen, hashable,
+and serialize canonically, so a scenario's content hash (:meth:`key`) is
+stable across processes and machines — the foundation of the
+content-addressed result store.
+
+Parameters are stored internally as a canonical JSON string (sorted keys,
+no whitespace): that keeps the dataclass hashable, forces every parameter
+to be JSON-representable (which the store needs anyway), and makes
+equality independent of dict insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "SweepSpec",
+    "canonical_json",
+    "grid_params",
+    "zip_params",
+    "scenario",
+]
+
+#: Version of the scenario/record schema.  Bump whenever a change to the
+#: simulation code or the spec layout invalidates previously cached
+#: results; every cached key changes with it.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical (sorted-key, compact) JSON encoding of ``value``."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _check_jsonable(params: Mapping[str, Any], where: str) -> None:
+    try:
+        canonical_json(dict(params))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"{where} parameters must be JSON-representable: {exc}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class ScenarioSpec:
+    """One unit of simulated work: a registered runner + its parameters."""
+
+    runner: str                 #: name in :data:`repro.experiments.registry.RUNNERS`
+    params_json: str = "{}"     #: canonical JSON of the parameter mapping
+    label: str = ""             #: display label (excluded from the key)
+
+    @classmethod
+    def make(cls, runner: str, label: str = "", **params: Any) -> "ScenarioSpec":
+        _check_jsonable(params, f"scenario {runner!r}")
+        return cls(runner=runner, params_json=canonical_json(params),
+                   label=label)
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return json.loads(self.params_json)
+
+    def with_params(self, **overrides: Any) -> "ScenarioSpec":
+        merged = self.params
+        merged.update(overrides)
+        _check_jsonable(merged, f"scenario {self.runner!r}")
+        return replace(self, params_json=canonical_json(merged))
+
+    def key(self) -> str:
+        """Stable content hash of (schema version, runner, params).
+
+        The label is display-only and deliberately excluded: renaming a
+        scenario must not invalidate its cached result.
+        """
+        record = canonical_json({
+            "schema": SCHEMA_VERSION,
+            "runner": self.runner,
+            "params": self.params,
+        })
+        return hashlib.sha256(record.encode("utf-8")).hexdigest()
+
+    def stable_seed(self) -> int:
+        """Deterministic per-scenario seed derived from the content hash.
+
+        Identical across processes and runs; distinct scenarios get
+        distinct seeds with overwhelming probability.  Runners that take a
+        second positional argument receive this value.
+        """
+        return int(self.key()[:16], 16)
+
+
+def scenario(runner: str, label: str = "", **params: Any) -> ScenarioSpec:
+    """Shorthand for :meth:`ScenarioSpec.make`."""
+    return ScenarioSpec.make(runner, label=label, **params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered collection of scenarios plus result assembly."""
+
+    name: str
+    title: str
+    scenarios: Tuple[ScenarioSpec, ...] = ()
+    assembler: str = "rows"         #: name in ``registry.ASSEMBLERS``
+    assembler_params_json: str = "{}"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    @classmethod
+    def make(cls, name: str, title: str, scenarios, assembler: str = "rows",
+             description: str = "", **assembler_params: Any) -> "SweepSpec":
+        _check_jsonable(assembler_params, f"sweep {name!r} assembler")
+        return cls(name=name, title=title, scenarios=tuple(scenarios),
+                   assembler=assembler, description=description,
+                   assembler_params_json=canonical_json(assembler_params))
+
+    @property
+    def assembler_params(self) -> Dict[str, Any]:
+        return json.loads(self.assembler_params_json)
+
+    def key(self) -> str:
+        """Content hash of the whole sweep (scenario keys + assembly)."""
+        record = canonical_json({
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "assembler": self.assembler,
+            "assembler_params": self.assembler_params,
+            "scenarios": [s.key() for s in self.scenarios],
+        })
+        return hashlib.sha256(record.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.scenarios)
+
+
+def grid_params(**axes: Any) -> List[Dict[str, Any]]:
+    """Cartesian product of parameter axes, in the given axis order.
+
+    >>> grid_params(batch=(1, 2), tables=(64,))
+    [{'batch': 1, 'tables': 64}, {'batch': 2, 'tables': 64}]
+
+    Scalar (non-list/tuple) axis values are broadcast as constants.
+    """
+    names = list(axes)
+    values = [v if isinstance(v, (list, tuple)) else (v,)
+              for v in axes.values()]
+    return [dict(zip(names, combo)) for combo in product(*values)]
+
+
+def zip_params(**axes: Any) -> List[Dict[str, Any]]:
+    """Zip parameter axes positionally (all must have equal length).
+
+    >>> zip_params(batch=(512, 1024), tables=(64, 256))
+    [{'batch': 512, 'tables': 64}, {'batch': 1024, 'tables': 256}]
+    """
+    names = list(axes)
+    values = [list(v) for v in axes.values()]
+    lengths = {len(v) for v in values}
+    if len(lengths) > 1:
+        raise ValueError(
+            f"zip_params axes must have equal lengths, got "
+            f"{ {n: len(v) for n, v in zip(names, values)} }")
+    return [dict(zip(names, combo)) for combo in zip(*values)]

@@ -1,0 +1,83 @@
+"""CLI surface tests: list/run/report/diff through ``cli.main``."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.report import REPORT_SCHEMA
+
+
+def test_list_names_registered_sweeps(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig8", "fig15", "ablation-slice-size", "smoke"):
+        assert name in out
+
+
+def test_run_writes_report_and_caches(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    reports = tmp_path / "reports"
+    assert main(["run", "smoke", "--cache", str(cache),
+                 "--report-dir", str(reports), "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "Smoke" in captured.out
+    assert "3 scenarios, 0 cached, 3 executed" in captured.err
+
+    report_path = reports / "smoke.json"
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == REPORT_SCHEMA
+    assert len(report["scenarios"]) == 3
+
+    # Second run: fully cached; --expect-cached passes.
+    assert main(["run", "smoke", "--cache", str(cache), "--quiet",
+                 "--expect-cached"]) == 0
+    assert "3 cached, 0 executed" in capsys.readouterr().err
+
+
+def test_expect_cached_fails_on_cold_cache(tmp_path, capsys):
+    assert main(["run", "smoke", "--cache", str(tmp_path / "cold"),
+                 "--quiet", "--expect-cached"]) == 1
+    assert "expected a fully cached run" in capsys.readouterr().err
+
+
+def test_report_subcommand_reads_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "smoke", "--cache", str(cache), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["report", "smoke", "--cache", str(cache), "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "3 cached, 0 executed" in captured.err
+    assert "Smoke" in captured.out
+
+
+def test_diff_subcommand(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    reports = tmp_path / "reports"
+    main(["run", "smoke", "--cache", str(cache),
+          "--report-dir", str(reports), "--quiet"])
+    path = reports / "smoke.json"
+    assert main(["diff", str(path), str(path)]) == 0
+    assert "reports match" in capsys.readouterr().out
+
+    tweaked = json.loads(path.read_text())
+    tweaked["scenarios"][0]["result"]["fused_time"] *= 1.5
+    other = tmp_path / "tweaked.json"
+    other.write_text(json.dumps(tweaked))
+    assert main(["diff", str(path), str(other)]) == 1
+    assert "fused_time" in capsys.readouterr().out
+
+
+def test_no_cache_flag_disables_store(tmp_path, capsys):
+    assert main(["run", "smoke", "--no-cache", "--quiet",
+                 "--cache", str(tmp_path / "never")]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / "never").exists()
+    # Without a store, a re-run executes everything again.
+    assert main(["run", "smoke", "--no-cache", "--quiet"]) == 0
+    assert "0 cached, 3 executed" in capsys.readouterr().err
+
+
+def test_unknown_sweep_errors():
+    with pytest.raises(KeyError, match="unknown sweep"):
+        main(["run", "definitely-not-a-sweep"])

@@ -1,0 +1,111 @@
+"""Orchestrator ⟷ direct-path equivalence for every ported figure.
+
+Acceptance criterion for the orchestration subsystem: running a figure
+through its registered sweep produces *identical* simulated results to
+calling the ``repro.bench.figures`` function directly — same rows, same
+exact (unrounded) times, same extra statistics, after normalizing both
+through the JSON export (the orchestrator's results legitimately
+round-trip through JSON, which is exact for IEEE doubles).
+
+The cheap figures compare at their paper-default grids; the heavy ones
+(fig8/10/12 and the occupancy sweep) compare on reduced grids through
+the same parameterized factories, which exercises the identical runner
+and assembler code paths at a fraction of the wall-clock.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import figures as direct
+from repro.experiments import figures as orch
+from repro.experiments import run_sweep
+
+#: Reduced grids for the heavy figures (same shapes the direct functions
+#: accept; the paper-default grids stay registered for the CLI).
+SMALL_FIG8 = ((512, 64), (1024, 256))
+SMALL_FIG12 = ((256, 64), (1024, 256))
+SMALL_FIG9 = ((8192, 8192), (65536, 16384))
+SMALL_FIG10 = ((2048, 4096, 8192), (4096, 4096, 14336))
+SMALL_FRACTIONS = (0.25, 0.75, 0.875)
+
+
+def _normalize(figure_result):
+    return json.loads(json.dumps(figure_result.to_json_dict(),
+                                 sort_keys=True))
+
+
+def _assert_equivalent(direct_result, sweep):
+    orchestrated = run_sweep(sweep).figure()
+    assert _normalize(orchestrated) == _normalize(direct_result)
+
+
+def test_table1_equivalence():
+    _assert_equivalent(direct.table1_setup(), orch.table1_sweep(name="eq-t1"))
+
+
+def test_table2_equivalence():
+    _assert_equivalent(direct.table2_setup(), orch.table2_sweep(name="eq-t2"))
+
+
+def test_fig8_equivalence():
+    _assert_equivalent(direct.fig8_embedding_a2a_intranode(SMALL_FIG8),
+                       orch.fig8_sweep(SMALL_FIG8, name="eq-f8"))
+
+
+def test_fig9_equivalence():
+    _assert_equivalent(direct.fig9_gemv_allreduce(SMALL_FIG9),
+                       orch.fig9_sweep(SMALL_FIG9, name="eq-f9"))
+
+
+def test_fig10_equivalence():
+    _assert_equivalent(direct.fig10_gemm_a2a(SMALL_FIG10),
+                       orch.fig10_sweep(SMALL_FIG10, name="eq-f10"))
+
+
+def test_fig11_equivalence():
+    _assert_equivalent(direct.fig11_wg_timeline(),
+                       orch.fig11_sweep(name="eq-f11"))
+
+
+def test_fig12_equivalence():
+    _assert_equivalent(direct.fig12_embedding_a2a_internode(SMALL_FIG12),
+                       orch.fig12_sweep(SMALL_FIG12, name="eq-f12"))
+
+
+def test_fig13_equivalence():
+    _assert_equivalent(
+        direct.fig13_occupancy_sweep(fractions=SMALL_FRACTIONS),
+        orch.fig13_sweep(fractions=SMALL_FRACTIONS, name="eq-f13"))
+
+
+@pytest.mark.slow
+def test_fig14_equivalence():
+    _assert_equivalent(direct.fig14_scheduling_skew(),
+                       orch.fig14_sweep(name="eq-f14"))
+
+
+def test_fig15_equivalence():
+    _assert_equivalent(direct.fig15_scaleout(),
+                       orch.fig15_sweep(name="eq-f15"))
+
+
+def test_fig15_hidden_extra_scenario_when_128_absent():
+    """Fig. 15's headline stats come from 128 nodes even when the row grid
+    omits it — via a hidden scenario, exactly like the direct function's
+    separate ``run_dlrm_scaleout(128)`` call."""
+    _assert_equivalent(direct.fig15_scaleout(node_counts=(16, 32)),
+                       orch.fig15_sweep(node_counts=(16, 32), name="eq-f15h"))
+
+
+def test_equivalence_survives_the_cache(tmp_path):
+    """Cache-served results assemble to the same figure as fresh ones."""
+    from repro.experiments import ResultStore
+    sweep = orch.fig9_sweep(SMALL_FIG9, name="eq-f9-cache")
+    store = ResultStore(tmp_path)
+    fresh = run_sweep(sweep, store=store).figure()
+    cached_run = run_sweep(sweep, store=store)
+    assert cached_run.executed == 0
+    assert _normalize(cached_run.figure()) == _normalize(fresh)
+    assert _normalize(fresh) == _normalize(
+        direct.fig9_gemv_allreduce(SMALL_FIG9))

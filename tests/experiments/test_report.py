@@ -1,0 +1,122 @@
+"""Sweep report / diff / baseline-comparison tests."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    SweepSpec,
+    compare_to_baseline,
+    diff_reports,
+    load_report,
+    render_report,
+    report_json,
+    run_sweep,
+    scenario,
+)
+from repro.experiments.report import REPORT_SCHEMA, _numeric_leaves
+from repro.experiments.registry import runner
+
+RESULTS = {}
+
+
+@runner("test_report_pair")
+def _report_pair(params):
+    fused, baseline = RESULTS[params["x"]]
+    return {"fused_time": fused, "baseline_time": baseline}
+
+
+def _sweep(xs=(1, 2), name="test-report"):
+    return SweepSpec.make(
+        name, "Report",
+        [scenario("test_report_pair", label=f"x={x}", x=x) for x in xs],
+        assembler="rows", figure="Report", description="report test sweep")
+
+
+def _run(xs=(1, 2), values=None):
+    RESULTS.clear()
+    RESULTS.update(values or {x: (1.0 * x, 2.0 * x) for x in xs})
+    return run_sweep(_sweep(xs)).report()
+
+
+def test_report_shape_and_stability():
+    report = _run()
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["sweep"] == "test-report"
+    assert [s["label"] for s in report["scenarios"]] == ["x=1", "x=2"]
+    assert report["figure"]["schema"] == "repro.bench.figure/v1"
+    # No volatile fields anywhere: serializing twice is byte-identical,
+    # and a re-run of the same physics produces the same bytes.
+    assert report_json(report) == report_json(_run())
+    # Stable serialization ends with a newline and parses back.
+    text = report_json(report)
+    assert text.endswith("\n")
+    assert json.loads(text) == report
+
+
+def test_render_report_is_figure_table():
+    out = render_report(_run())
+    assert "Report" in out and "x=1" in out and "normalized" in out
+
+
+def test_load_report_rejects_foreign_json(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError, match="not a sweep report"):
+        load_report(path)
+    path.write_text(report_json(_run()))
+    assert load_report(path)["sweep"] == "test-report"
+
+
+def test_diff_identical_reports_ok():
+    diff = diff_reports(_run(), _run())
+    assert diff.ok
+    assert "reports match" in diff.render()
+
+
+def test_diff_detects_metric_change():
+    old = _run()
+    new = _run(values={1: (1.0, 2.0), 2: (2.5, 4.0)})
+    diff = diff_reports(old, new)
+    assert not diff.ok
+    assert [c.metric for c in diff.changed] == ["fused_time"]
+    change = diff.changed[0]
+    assert change.label == "x=2"
+    assert change.old == 2.0 and change.new == 2.5
+    assert change.rel_delta == pytest.approx(0.25)
+    assert "x=2" in diff.render()
+
+
+def test_diff_rtol_tolerates_small_drift():
+    old = _run()
+    new = _run(values={1: (1.0, 2.0), 2: (2.0 * 1.0001, 4.0)})
+    assert not diff_reports(old, new).ok
+    assert diff_reports(old, new, rtol=1e-3).ok
+
+
+def test_diff_added_and_removed_scenarios():
+    old = _run(xs=(1, 2))
+    new = _run(xs=(2, 3))
+    diff = diff_reports(old, new)
+    assert diff.added == ["x=3"]
+    assert diff.removed == ["x=1"]
+    assert not diff.ok
+
+
+def test_compare_to_baseline_from_path(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(report_json(_run()))
+    RESULTS.update({2: (2.2, 4.0)})
+    run = run_sweep(_sweep())
+    diff = compare_to_baseline(run, baseline_path)
+    assert not diff.ok
+    assert diff.changed[0].label == "x=2"
+    # An unchanged run matches its own baseline.
+    assert compare_to_baseline(_run(), baseline_path.parent
+                               / "baseline.json").ok
+
+
+def test_numeric_leaves_flattening():
+    leaves = _numeric_leaves({"a": 1, "b": {"c": 2.5}, "d": [1, {"e": 3}],
+                              "s": "text", "t": True})
+    assert leaves == {"a": 1.0, "b.c": 2.5, "d[0]": 1.0, "d[1].e": 3.0}

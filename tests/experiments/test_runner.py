@@ -1,0 +1,177 @@
+"""Orchestrator runner tests: caching, force, parallel byte-identity.
+
+The fake-runner sweeps exercise the machinery cheaply in-process; the
+parallel tests use real registered runners (worker processes re-import
+the registry by name, so test-local fakes can't cross the process
+boundary) on deliberately small configurations.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultStore,
+    SweepSpec,
+    register_sweep,
+    report_json,
+    run_sweep,
+    scenario,
+)
+from repro.experiments.figures import fig9_sweep, smoke_sweep
+from repro.experiments.registry import RUNNERS, runner
+
+CALLS = {"count": 0}
+
+
+@runner("test_counting_pair")
+def _counting_pair(params):
+    CALLS["count"] += 1
+    return {"fused_time": float(params["x"]), "baseline_time": 2.0}
+
+
+@runner("test_seeded")
+def _seeded(params, seed):
+    return {"fused_time": float(seed % 1000) + 1.0, "baseline_time": 1.0}
+
+
+def _counting_sweep(n=3, name="test-counting"):
+    return SweepSpec.make(
+        name, "Counting",
+        [scenario("test_counting_pair", label=f"x={i + 1}", x=i + 1)
+         for i in range(n)],
+        assembler="rows", figure="Counting", description="fake sweep")
+
+
+def test_serial_run_and_figure():
+    run = run_sweep(_counting_sweep())
+    assert run.executed == 3 and run.cache_hits == 0
+    fig = run.figure()
+    assert [r.label for r in fig.rows] == ["x=1", "x=2", "x=3"]
+    assert fig.rows[0].normalized == 0.5
+
+
+def test_cached_rerun_executes_zero_scenarios(tmp_path):
+    """The acceptance criterion: a cached re-run simulates nothing."""
+    sweep = _counting_sweep()
+    store = ResultStore(tmp_path)
+    CALLS["count"] = 0
+    first = run_sweep(sweep, store=store)
+    assert first.executed == 3 and CALLS["count"] == 3
+
+    second = run_sweep(sweep, store=store)
+    assert second.executed == 0 and second.cache_hits == 3
+    assert CALLS["count"] == 3        # runner never invoked again
+    assert report_json(second.report()) == report_json(first.report())
+
+
+def test_force_reexecutes_hits(tmp_path):
+    sweep = _counting_sweep()
+    store = ResultStore(tmp_path)
+    run_sweep(sweep, store=store)
+    CALLS["count"] = 0
+    forced = run_sweep(sweep, store=store, force=True)
+    assert forced.executed == 3 and CALLS["count"] == 3
+
+
+def test_cache_shared_across_sweeps(tmp_path):
+    """Scenario records are content-addressed, not sweep-scoped: a second
+    sweep containing an already-computed scenario reuses its record."""
+    store = ResultStore(tmp_path)
+    run_sweep(_counting_sweep(n=3), store=store)
+    CALLS["count"] = 0
+    wider = _counting_sweep(n=4, name="test-counting-wider")
+    run = run_sweep(wider, store=store)
+    assert run.cache_hits == 3 and run.executed == 1
+    assert CALLS["count"] == 1
+
+
+def test_changed_params_miss_the_cache(tmp_path):
+    store = ResultStore(tmp_path)
+    base = scenario("test_counting_pair", label="a", x=1)
+    run_sweep(SweepSpec.make("test-miss-a", "T", [base], assembler="rows"),
+              store=store)
+    CALLS["count"] = 0
+    changed = SweepSpec.make("test-miss-b", "T",
+                             [base.with_params(x=99)], assembler="rows")
+    run = run_sweep(changed, store=store)
+    assert run.executed == 1 and CALLS["count"] == 1
+
+
+def test_seeded_runner_gets_stable_seed():
+    sweep = SweepSpec.make(
+        "test-seeded", "T",
+        [scenario("test_seeded", label="a", x=1),
+         scenario("test_seeded", label="b", x=2)],
+        assembler="rows")
+    a = run_sweep(sweep)
+    b = run_sweep(sweep)
+    assert a.outcomes[0].result == b.outcomes[0].result   # deterministic
+    assert a.outcomes[0].result != a.outcomes[1].result   # per-scenario
+
+
+def test_progress_callback_order():
+    seen = []
+    run_sweep(_counting_sweep(),
+              progress=lambda done, total, o: seen.append((done, total,
+                                                           o.spec.label)))
+    assert seen == [(1, 3, "x=1"), (2, 3, "x=2"), (3, 3, "x=3")]
+
+
+def test_unknown_sweep_and_runner_errors():
+    with pytest.raises(KeyError, match="unknown sweep"):
+        run_sweep("no-such-sweep")
+    bad = SweepSpec.make("test-bad-runner", "T",
+                         [scenario("no_such_runner", label="a")],
+                         assembler="rows")
+    with pytest.raises(KeyError, match="unknown runner"):
+        run_sweep(bad)
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError, match="duplicate scenario labels"):
+        register_sweep(SweepSpec.make(
+            "test-dupes", "T",
+            [scenario("test_counting_pair", label="same", x=1),
+             scenario("test_counting_pair", label="same", x=2)],
+            assembler="rows"))
+
+
+def test_runner_must_return_dict():
+    @runner("test_returns_list")
+    def _bad(params):
+        return [1, 2]
+
+    sweep = SweepSpec.make("test-bad-return", "T",
+                           [scenario("test_returns_list", label="a")],
+                           assembler="rows")
+    try:
+        with pytest.raises(TypeError, match="must return a dict"):
+            run_sweep(sweep)
+    finally:
+        RUNNERS.pop("test_returns_list", None)
+
+
+# ----------------------------------------------------------------------
+# Parallel execution (spawned workers, real registered runners).
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_parallel_report_byte_identical_to_serial():
+    """Acceptance criterion: >= 2 workers, byte-identical sweep report."""
+    sweep = fig9_sweep(((8192, 8192), (16384, 8192), (8192, 16384)),
+                       name="test-f9-parallel")
+    serial = run_sweep(sweep, workers=1)
+    parallel = run_sweep(sweep, workers=2)
+    assert parallel.executed == 3
+    assert report_json(parallel.report()) == report_json(serial.report())
+
+
+@pytest.mark.slow
+def test_parallel_fills_store_like_serial(tmp_path):
+    sweep = smoke_sweep(name="test-smoke-parallel")
+    store = ResultStore(tmp_path)
+    first = run_sweep(sweep, store=store, workers=2)
+    assert first.executed == len(sweep.scenarios)
+    rerun = run_sweep(sweep, store=store, workers=2)
+    assert rerun.executed == 0
+    assert rerun.cache_hits == len(sweep.scenarios)
+    assert report_json(rerun.report()) == report_json(first.report())

@@ -1,0 +1,83 @@
+"""Content-addressed store tests: round-trips, misses, robustness."""
+
+import json
+
+from repro.bench.harness import FigureResult, Row
+from repro.experiments import ResultStore, scenario
+from repro.experiments.figures import table1_sweep
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    spec = scenario("r", label="a", x=1)
+    assert store.get(spec) is None
+    record = store.put(spec, {"elapsed": 0.25})
+    assert store.get(spec) == {"elapsed": 0.25}
+    assert record["key"] == spec.key()
+    assert record["params"] == {"x": 1}
+    assert len(store) == 1
+
+
+def test_layout_is_sharded_json(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = scenario("r", x=1)
+    store.put(spec, {"v": 1})
+    path = store.path_for(spec.key())
+    assert path.parent.name == spec.key()[:2]
+    assert path.suffix == ".json"
+    with open(path) as f:
+        on_disk = json.load(f)
+    assert on_disk["result"] == {"v": 1}
+
+
+def test_different_specs_do_not_collide(tmp_path):
+    store = ResultStore(tmp_path)
+    a, b = scenario("r", x=1), scenario("r", x=2)
+    store.put(a, {"v": "a"})
+    store.put(b, {"v": "b"})
+    assert store.get(a) == {"v": "a"}
+    assert store.get(b) == {"v": "b"}
+
+
+def test_corrupted_record_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = scenario("r", x=1)
+    store.put(spec, {"v": 1})
+    store.path_for(spec.key()).write_text("{not json", encoding="utf-8")
+    assert store.get(spec) is None
+
+
+def test_runner_mismatch_is_a_miss(tmp_path):
+    """A hash collision across runners (or a tampered file) never serves
+    the wrong runner's payload."""
+    store = ResultStore(tmp_path)
+    spec = scenario("r", x=1)
+    record = store.put(spec, {"v": 1})
+    record["runner"] = "other"
+    store.path_for(spec.key()).write_text(json.dumps(record),
+                                          encoding="utf-8")
+    assert store.get(spec) is None
+
+
+def test_clear_and_keys(tmp_path):
+    store = ResultStore(tmp_path)
+    specs = [scenario("r", x=i) for i in range(3)]
+    for s in specs:
+        store.put(s, {"v": 1})
+    assert sorted(store.keys()) == sorted(s.key() for s in specs)
+    assert store.clear() == 3
+    assert len(store) == 0
+
+
+def test_sweep_record_payload_is_figure_json(tmp_path):
+    """The sweep-level record stores the FigureResult JSON export."""
+    store = ResultStore(tmp_path)
+    sweep = table1_sweep(name="t1-store-test")
+    fig = FigureResult("Table I", "demo")
+    fig.add(Row("a", 1.0, 2.0))
+    fig.extra["k"] = "v"
+    store.put_sweep(sweep, fig.to_json_dict())
+    payload = store.get_sweep(sweep)
+    restored = FigureResult.from_json_dict(payload)
+    assert restored.to_json_dict() == fig.to_json_dict()
+    assert restored.rows[0].normalized == 0.5

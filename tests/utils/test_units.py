@@ -1,0 +1,83 @@
+"""Unit-helper tests: constant relationships, formatting round-trips."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GB_PER_S,
+    GBIT_PER_S,
+    GIB,
+    GIGA,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MS,
+    NS,
+    US,
+    fmt_bytes,
+    fmt_time,
+)
+
+
+def test_decimal_binary_relationships():
+    assert KB == 1e3 and MB == 1e6 and GB == 1e9
+    assert KIB == 1024 and MIB == 1024 ** 2 and GIB == 1024 ** 3
+    # Binary units are strictly larger than their decimal cousins.
+    assert KIB > KB and MIB > MB and GIB > GB
+
+
+def test_time_constant_ladder():
+    assert NS * 1e3 == pytest.approx(US)
+    assert US * 1e3 == pytest.approx(MS)
+    assert MS * 1e3 == pytest.approx(1.0)
+
+
+def test_bandwidth_conventions():
+    # A link quoted in Gbit/s carries 1/8 the bytes of one quoted in GB/s.
+    assert GBIT_PER_S * 8 == GB_PER_S
+    assert GB_PER_S == GIGA
+
+
+@pytest.mark.parametrize("n, expected", [
+    (0.0, "0 B"),
+    (1.0, "1 B"),
+    (999.0, "999 B"),
+    (1e3, "1.00 KB"),
+    (1536.0, "1.54 KB"),
+    (1e6, "1.00 MB"),
+    (2.5e9, "2.50 GB"),
+    (1e13, "10000.00 GB"),
+])
+def test_fmt_bytes(n, expected):
+    assert fmt_bytes(n) == expected
+
+
+def test_fmt_bytes_negative_magnitude():
+    # abs() drives the unit choice; the sign survives.
+    assert fmt_bytes(-2e6) == "-2.00 MB"
+
+
+@pytest.mark.parametrize("t, expected", [
+    (0.0, "0.0 ns"),
+    (1.0, "1.000 s"),
+    (2.5, "2.500 s"),
+    (1e-3, "1.000 ms"),
+    (1.5e-3, "1.500 ms"),
+    (1e-6, "1.000 us"),
+    (700e-9, "700.0 ns"),
+    (0.5e-9, "0.5 ns"),
+])
+def test_fmt_time(t, expected):
+    assert fmt_time(t) == expected
+
+
+def test_fmt_time_boundaries_pick_larger_unit():
+    # Exactly at a unit boundary the larger unit wins (>= comparisons).
+    assert fmt_time(MS) == "1.000 ms"
+    assert fmt_time(US) == "1.000 us"
+    assert fmt_time(1.0) == "1.000 s"
+
+
+def test_fmt_time_negative_magnitude():
+    assert fmt_time(-1e-3) == "-1.000 ms"
