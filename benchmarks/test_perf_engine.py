@@ -16,9 +16,13 @@ from repro.bench.figures import fig9_gemv_allreduce
 from repro.bench.perf import time_call, write_bench_report
 from repro.fused.base import baseline_kernel_resources
 from repro.hw.gpu import Gpu, WgCost
-from repro.hw.specs import MI210
+from repro.hw.platform import get_platform
 from repro.kernels import PersistentKernel, make_uniform_tasks
 from repro.sim import Simulator
+
+#: Hardware platform the engine microbenchmarks model (recorded in
+#: BENCH_engine.json so records stay comparable across platform changes).
+BENCH_PLATFORM = get_platform("mi210")
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -58,9 +62,10 @@ def _kernel_wgs_per_sec() -> float:
     """
     def setup():
         sim = Simulator()
-        gpu = Gpu(sim, MI210, gpu_id=0)
+        gpu = Gpu(sim, BENCH_PLATFORM.gpu, gpu_id=0)
         tasks = make_uniform_tasks(N_TASKS, WgCost(bytes=4096.0))
-        kern = PersistentKernel(gpu, baseline_kernel_resources(), tasks)
+        kern = PersistentKernel(gpu, baseline_kernel_resources(gpu.spec),
+                                tasks)
         kern.launch()
         return sim
 
@@ -90,6 +95,9 @@ def test_fastpath_speedup_and_report(monkeypatch):
     fig9, fig9_wall = time_call(
         lambda: fig9_gemv_allreduce(grid=FIG9_SMALL_GRID))
     payload = {
+        # "platform" is the host OS string (write_bench_report);
+        # "hw_platform" names the simulated hardware catalog entry.
+        "hw_platform": BENCH_PLATFORM.name,
         "engine_events_per_sec": round(_engine_events_per_sec()),
         "kernel_wgs_per_sec_fastpath": round(fast),
         "kernel_wgs_per_sec_slowpath": round(slow),

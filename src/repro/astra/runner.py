@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..hw.platform import PlatformLike
 from ..models.configs import TABLE2_DLRM, TABLE2_TORUS, DlrmModelConfig, \
     TorusNetworkConfig
 from .graph import ExecutionGraph
@@ -42,15 +43,20 @@ class ScaleOutResult:
 
 def run_dlrm_scaleout(num_nodes: int = 128,
                       model: Optional[DlrmModelConfig] = None,
-                      net_cfg: Optional[TorusNetworkConfig] = None
-                      ) -> ScaleOutResult:
-    """Simulate one DLRM training pass, baseline vs fused."""
+                      net_cfg: Optional[TorusNetworkConfig] = None,
+                      platform: PlatformLike = None) -> ScaleOutResult:
+    """Simulate one DLRM training pass, baseline vs fused.
+
+    ``platform`` selects the per-node GPU that kernel times are profiled
+    on (default: the calibrated MI210); the torus network stays governed
+    by ``net_cfg``.
+    """
     if num_nodes < 2:
         raise ValueError("scale-out needs at least 2 nodes")
     model = model if model is not None else TABLE2_DLRM
     net_cfg = net_cfg if net_cfg is not None else TABLE2_TORUS
     network = TorusNetwork.square_ish(num_nodes, net_cfg)
-    times = compute_kernel_times(model, network)
+    times = compute_kernel_times(model, network, platform=platform)
     base_total, base_spans = build_dlrm_graph(times, fused=False).simulate()
     fused_total, fused_spans = build_dlrm_graph(times, fused=True).simulate()
     return ScaleOutResult(num_nodes=num_nodes, baseline_time=base_total,
@@ -61,8 +67,9 @@ def run_dlrm_scaleout(num_nodes: int = 128,
 
 def sweep_node_counts(node_counts: List[int] = (16, 32, 64, 128),
                       model: Optional[DlrmModelConfig] = None,
-                      net_cfg: Optional[TorusNetworkConfig] = None
-                      ) -> List[ScaleOutResult]:
+                      net_cfg: Optional[TorusNetworkConfig] = None,
+                      platform: PlatformLike = None) -> List[ScaleOutResult]:
     """The Fig. 15 series: normalized time across system sizes."""
-    return [run_dlrm_scaleout(n, model=model, net_cfg=net_cfg)
+    return [run_dlrm_scaleout(n, model=model, net_cfg=net_cfg,
+                              platform=platform)
             for n in node_counts]

@@ -15,19 +15,18 @@ Baseline graph (forward then backward)::
 
 Fused graph: each (embedding, All-to-All) pair collapses into one ``fused``
 node of duration ``max(embedding', a2a) + eps`` where ``embedding'`` is the
-pooling time at the fused kernel's 87.5% occupancy — WG-granular overlap
-inside a single persistent kernel (paper Section IV-D).
+pooling time at the fused kernel's platform-derived occupancy (87.5% on
+the calibrated MI210) — WG-granular overlap inside a single persistent
+kernel (paper Section IV-D).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict
 
 from ..fused.base import baseline_kernel_resources, fused_kernel_resources
 from ..hw.gpu import Gpu
-from ..hw.specs import MI210
+from ..hw.platform import PlatformLike, get_platform
 from ..kernels.kernel import bulk_kernel_time
 from ..models.configs import DlrmModelConfig
 from ..ops.embedding import embedding_wg_cost
@@ -75,11 +74,16 @@ class DlrmIterationTimes:
 
 
 def compute_kernel_times(model: DlrmModelConfig, network: TorusNetwork,
-                         gpu: Gpu = None) -> DlrmIterationTimes:
-    """Measure every kernel of the iteration on the simulated GPU."""
+                         gpu: Gpu = None,
+                         platform: PlatformLike = None) -> DlrmIterationTimes:
+    """Measure every kernel of the iteration on the simulated GPU.
+
+    ``platform`` selects the device when no explicit ``gpu`` is passed
+    (default: the calibrated MI210 platform).
+    """
     model.validate()
     if gpu is None:
-        gpu = Gpu(Simulator(), MI210, gpu_id=0)
+        gpu = Gpu(Simulator(), get_platform(platform).gpu, gpu_id=0)
     p = network.num_nodes
     global_batch = model.local_batch * p
     tables_here = max(1, round(model.tables_per_node(p)))
@@ -96,11 +100,12 @@ def compute_kernel_times(model: DlrmModelConfig, network: TorusNetwork,
     n_vectors = global_batch * tables_here
     cost = embedding_wg_cost(model.avg_pooling, model.embedding_dim)
     embed_fwd = bulk_kernel_time(gpu, n_vectors, cost,
-                                 baseline_kernel_resources())
-    # Fused kernel: same pooling at 87.5% occupancy (gather efficiency 0.80
-    # vs the baseline's 0.78 at full occupancy), single launch.
-    base_occ = gpu.occupancy(baseline_kernel_resources())
-    fused_occ = gpu.occupancy(fused_kernel_resources())
+                                 baseline_kernel_resources(gpu.spec))
+    # Fused kernel: same pooling at the fused footprint's derived occupancy
+    # (87.5% on the calibrated MI210 — the paper's register-pressure loss —
+    # and whatever the register-file geometry yields elsewhere), single
+    # launch.
+    fused_occ = gpu.occupancy(fused_kernel_resources(gpu.spec))
     rounds = max(1.0, n_vectors / fused_occ.resident_wgs)
     embed_fused_fwd = (gpu.spec.kernel_launch_overhead
                        + rounds * (gpu.wg_duration(cost, fused_occ)

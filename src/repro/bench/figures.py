@@ -8,7 +8,7 @@ the paper-vs-measured comparison produced from these.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..fused.base import OpHarness
 from ..fused.embedding_alltoall import (
@@ -27,7 +27,8 @@ from ..fused.gemv_allreduce import (
     GemvAllReduceConfig,
 )
 from ..astra import run_dlrm_scaleout, sweep_node_counts
-from ..hw.specs import IB_NIC, IF_LINK, MI210
+from ..hw.platform import PlatformLike, get_platform, \
+    max_occupancy_of_baseline
 from ..models.configs import TABLE2_DLRM, TABLE2_TORUS
 from ..sim import TraceRecorder
 from .harness import FigureResult, Row, compare
@@ -64,19 +65,21 @@ FIG10_GRID: Sequence[Tuple[int, int, int]] = (
 )
 
 
-def table1_setup() -> FigureResult:
-    """Table I: the simulated system's configuration."""
+def table1_setup(platform: PlatformLike = None) -> FigureResult:
+    """Table I: the simulated system's configuration (per platform)."""
+    p = get_platform(platform)
+    gpu, link, nic = p.gpu, p.link, p.nic
     res = FigureResult("Table I", "System setup (simulated substrate)")
     res.extra.update({
-        "GPU": f"{MI210.name} model: {MI210.num_cus} CUs, "
-               f"{MI210.hbm_bandwidth / 1e12:.2f} TB/s HBM, "
-               f"{MI210.fp32_flops / 1e12:.1f}/{MI210.fp16_flops / 1e12:.0f} "
+        "GPU": f"{gpu.name} model: {gpu.num_cus} CUs, "
+               f"{gpu.hbm_bandwidth / 1e12:.2f} TB/s HBM, "
+               f"{gpu.fp32_flops / 1e12:.1f}/{gpu.fp16_flops / 1e12:.0f} "
                f"TFLOP/s fp32/fp16",
-        "Scale-up": f"4 GPUs fully connected, "
-                    f"{IF_LINK.bandwidth / 1e9:.0f} GB/s "
-                    f"{IF_LINK.name} per link",
-        "Scale-out": f"2 nodes x1 GPU over {IB_NIC.bandwidth / 1e9:.0f} GB/s "
-                     f"{IB_NIC.name}",
+        "Scale-up": f"{p.gpus_per_node} GPUs fully connected, "
+                    f"{link.bandwidth / 1e9:.0f} GB/s "
+                    f"{link.name} per link",
+        "Scale-out": f"2 nodes x1 GPU over {nic.bandwidth / 1e9:.0f} GB/s "
+                     f"{nic.name}",
         "Software": "repro SHMEM-like GPU-initiated comm + RCCL-like "
                     "baseline collectives",
     })
@@ -99,7 +102,8 @@ def table2_setup() -> FigureResult:
 
 
 def _embedding_figure(grid, num_nodes, gpus_per_node, figure, description,
-                      paper_mean, paper_best) -> FigureResult:
+                      paper_mean, paper_best,
+                      platform: PlatformLike = None) -> FigureResult:
     res = FigureResult(figure, description, paper_mean=paper_mean,
                        paper_best=paper_best)
     for batch, tables in grid:
@@ -109,27 +113,33 @@ def _embedding_figure(grid, num_nodes, gpus_per_node, figure, description,
             cfg.label,
             lambda h, cfg=cfg: FusedEmbeddingAllToAll(h, cfg),
             lambda h, cfg=cfg: BaselineEmbeddingAllToAll(h, cfg),
-            num_nodes=num_nodes, gpus_per_node=gpus_per_node))
+            num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+            platform=platform))
     return res
 
 
-def fig8_embedding_a2a_intranode(grid=FIG8_GRID) -> FigureResult:
+def fig8_embedding_a2a_intranode(grid=FIG8_GRID,
+                                 platform: PlatformLike = None
+                                 ) -> FigureResult:
     """Fig. 8: zero-copy fused embedding + A2A, 4 GPUs intra-node."""
     return _embedding_figure(
         grid, num_nodes=1, gpus_per_node=4, figure="Fig. 8",
         description="Normalized execution time, intra-node embedding+A2A",
-        paper_mean=0.80, paper_best=0.68)
+        paper_mean=0.80, paper_best=0.68, platform=platform)
 
 
-def fig12_embedding_a2a_internode(grid=FIG12_GRID) -> FigureResult:
+def fig12_embedding_a2a_internode(grid=FIG12_GRID,
+                                  platform: PlatformLike = None
+                                  ) -> FigureResult:
     """Fig. 12: fused embedding + A2A across 2 IB-connected nodes."""
     return _embedding_figure(
         grid, num_nodes=2, gpus_per_node=1, figure="Fig. 12",
         description="Normalized execution time, inter-node embedding+A2A",
-        paper_mean=0.69, paper_best=0.42)
+        paper_mean=0.69, paper_best=0.42, platform=platform)
 
 
-def fig9_gemv_allreduce(grid=FIG9_GRID, world: int = 4) -> FigureResult:
+def fig9_gemv_allreduce(grid=FIG9_GRID, world: int = 4,
+                        platform: PlatformLike = None) -> FigureResult:
     """Fig. 9: zero-copy fused GEMV + AllReduce, 4 GPUs."""
     res = FigureResult("Fig. 9",
                        "Normalized execution time, GEMV+AllReduce",
@@ -141,11 +151,12 @@ def fig9_gemv_allreduce(grid=FIG9_GRID, world: int = 4) -> FigureResult:
             cfg.label,
             lambda h, cfg=cfg: FusedGemvAllReduce(h, cfg),
             lambda h, cfg=cfg: BaselineGemvAllReduce(h, cfg),
-            num_nodes=1, gpus_per_node=world))
+            num_nodes=1, gpus_per_node=world, platform=platform))
     return res
 
 
-def fig10_gemm_a2a(grid=FIG10_GRID, world: int = 4) -> FigureResult:
+def fig10_gemm_a2a(grid=FIG10_GRID, world: int = 4,
+                   platform: PlatformLike = None) -> FigureResult:
     """Fig. 10: fused GEMM + A2A (Triton extension), 4 GPUs."""
     res = FigureResult("Fig. 10",
                        "Normalized execution time, GEMM+All-to-All",
@@ -157,13 +168,14 @@ def fig10_gemm_a2a(grid=FIG10_GRID, world: int = 4) -> FigureResult:
             cfg.label,
             lambda h, cfg=cfg: FusedGemmAllToAll(h, cfg),
             lambda h, cfg=cfg: BaselineGemmAllToAll(h, cfg),
-            num_nodes=1, gpus_per_node=world))
+            num_nodes=1, gpus_per_node=world, platform=platform))
     return res
 
 
 def fig11_wg_timeline(batch: int = 512, tables: int = 32,
                       wgs_per_slice: int = 16,
-                      timeline_width: int = 100) -> FigureResult:
+                      timeline_width: int = 100,
+                      platform: PlatformLike = None) -> FigureResult:
     """Fig. 11: persistent-WG execution timeline with put-issue markers.
 
     The paper profiles batch 2048, tables/GPU 256, slices of 16 WGs on the
@@ -177,7 +189,8 @@ def fig11_wg_timeline(batch: int = 512, tables: int = 32,
     cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
                              functional=False, slice_vectors=wgs_per_slice,
                              tasks_per_slice=wgs_per_slice)
-    h = OpHarness(num_nodes=2, gpus_per_node=1, trace=trace)
+    h = OpHarness(num_nodes=2, gpus_per_node=1, trace=trace,
+                  platform=platform)
     result = h.run(FusedEmbeddingAllToAll(h, cfg))
 
     res = FigureResult("Fig. 11",
@@ -202,22 +215,45 @@ def fig11_wg_timeline(batch: int = 512, tables: int = 32,
     return res
 
 
+#: The paper's Fig. 13 x-axis (fractions of *baseline* occupancy; the
+#: last point is the MI210 fused kernel's register-pressure maximum).
+FIG13_FRACTIONS: Sequence[float] = (0.25, 0.375, 0.5, 0.625, 0.75, 0.875)
+
+
+def occupancy_fractions_for(platform: PlatformLike,
+                            fractions: Optional[Sequence[float]] = None
+                            ) -> Sequence[float]:
+    """Resolve a Fig. 13 fraction grid against a platform's fused maximum.
+
+    ``None`` means the paper's default grid clipped to what the
+    platform's derived fused footprint can actually reach (on the MI210
+    the grid passes through unchanged).  Explicit fractions are the
+    caller's responsibility and pass through untouched.
+    """
+    if fractions is not None:
+        return fractions
+    max_frac = max_occupancy_of_baseline(get_platform(platform).gpu)
+    return tuple(f for f in FIG13_FRACTIONS if f <= max_frac + 1e-9)
+
+
 def fig13_occupancy_sweep(batch: int = 1024, tables: int = 256,
-                          fractions: Sequence[float] = (
-                              0.25, 0.375, 0.5, 0.625, 0.75, 0.875),
-                          ) -> FigureResult:
+                          fractions: Optional[Sequence[float]] = None,
+                          platform: PlatformLike = None) -> FigureResult:
     """Fig. 13: fused-kernel execution time across occupancy settings.
 
     x-axis is occupancy relative to the *baseline* kernel; 87.5% is the
-    fused kernel's maximum (register pressure).
+    fused kernel's register-pressure maximum on the calibrated MI210 (the
+    derived footprint of other platforms differs, and the default grid
+    clips to each platform's own maximum).
     """
+    fractions = occupancy_fractions_for(platform, fractions)
     res = FigureResult("Fig. 13", "Impact of WG occupancy on execution time")
     times = {}
     for frac in fractions:
         cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
                                  functional=False,
                                  occupancy_of_baseline=frac)
-        h = OpHarness(num_nodes=2, gpus_per_node=1)
+        h = OpHarness(num_nodes=2, gpus_per_node=1, platform=platform)
         times[frac] = h.run(FusedEmbeddingAllToAll(h, cfg)).elapsed
     t_max = max(times.values())
     for frac in fractions:
@@ -237,7 +273,7 @@ def fig13_occupancy_sweep(batch: int = 1024, tables: int = 256,
 
 def fig14_scheduling_skew(grid: Sequence[Tuple[int, int]] = (
         (1024, 64), (2048, 32), (2048, 64)),
-        ) -> FigureResult:
+        platform: PlatformLike = None) -> FigureResult:
     """Fig. 14: per-node completion skew, comm-aware vs oblivious."""
     res = FigureResult(
         "Fig. 14", "Node execution-time skew by scheduling policy")
@@ -247,7 +283,7 @@ def fig14_scheduling_skew(grid: Sequence[Tuple[int, int]] = (
             cfg = EmbeddingA2AConfig(global_batch=batch,
                                      tables_per_gpu=tables,
                                      functional=False, scheduler=sched)
-            h = OpHarness(num_nodes=2, gpus_per_node=1)
+            h = OpHarness(num_nodes=2, gpus_per_node=1, platform=platform)
             out = h.run(FusedEmbeddingAllToAll(h, cfg))
             ends = out.stats["rank_end_times"]
             skew = abs(ends[0] - ends[1]) / max(ends.values())
@@ -265,15 +301,15 @@ def fig14_scheduling_skew(grid: Sequence[Tuple[int, int]] = (
 
 
 def fig15_scaleout(node_counts: Sequence[int] = (16, 32, 64, 128),
-                   ) -> FigureResult:
+                   platform: PlatformLike = None) -> FigureResult:
     """Fig. 15: full DLRM training pass at scale (ASTRA-style)."""
     res = FigureResult(
         "Fig. 15", "Scale-out DLRM training, fused vs baseline",
         paper_mean=0.79)
-    for r in sweep_node_counts(list(node_counts)):
+    for r in sweep_node_counts(list(node_counts), platform=platform):
         res.add(Row(label=f"{r.num_nodes} nodes", fused_time=r.fused_time,
                     baseline_time=r.baseline_time))
-    r128 = run_dlrm_scaleout(128)
+    r128 = run_dlrm_scaleout(128, platform=platform)
     res.extra["reduction_128_nodes"] = (
         f"{r128.reduction_pct:.1f}% (paper: ~21%)")
     res.extra["baseline_exposed_a2a_128"] = (

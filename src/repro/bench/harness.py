@@ -131,16 +131,20 @@ class FigureResult:
 
 def compare(label: str, fused_factory: Callable, baseline_factory: Callable,
             num_nodes: int, gpus_per_node: int,
-            trace: Optional[TraceRecorder] = None) -> Row:
+            trace: Optional[TraceRecorder] = None,
+            platform=None) -> Row:
     """Run one fused/baseline pair on fresh clusters; return the row.
 
     The factories receive the :class:`OpHarness` and return the operator
-    instance to run.
+    instance to run.  ``platform`` selects the hardware for both runs
+    (anything :func:`repro.hw.platform.get_platform` resolves; default:
+    the calibrated MI210).
     """
     h1 = OpHarness(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
-                   trace=trace)
+                   trace=trace, platform=platform)
     fused = h1.run(fused_factory(h1))
-    h2 = OpHarness(num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+    h2 = OpHarness(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                   platform=platform)
     base = h2.run(baseline_factory(h2))
     return Row(label=label, fused_time=fused.elapsed,
                baseline_time=base.elapsed)

@@ -3,6 +3,7 @@
 Subcommands::
 
     list                      registered sweeps and their sizes
+    platforms                 hardware catalog with derived quantities
     run SWEEP [SWEEP...]      execute sweeps (cache-aware, parallel)
     report SWEEP [SWEEP...]   render sweeps (fully-cached runs are instant)
     diff OLD NEW              compare two sweep report JSON files
@@ -58,6 +59,32 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for sweep in sweeps:
         print(f"{sweep.name:<{width}}  {len(sweep):>3} scenario(s)  "
               f"{sweep.title}: {sweep.description}")
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    """Render the hardware catalog with its key derived quantities."""
+    from ..hw.platform import list_platforms
+    rows = [p.describe() for p in list_platforms()]
+    header = (f"{'name':<10} {'CUs':>4} {'fp32':>7} {'fp16':>7} "
+              f"{'HBM':>8} {'link':>7} {'nic':>6} {'g/node':>6} "
+              f"{'vgprs':>9} {'fused occ':>9}")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(f"{r['name']:<10} {r['num_cus']:>4} "
+              f"{r['fp32_tflops']:>6.1f}T {r['fp16_tflops']:>6.0f}T "
+              f"{r['hbm_tb_per_s']:>5.2f}TB/s "
+              f"{r['link_gb_per_s']:>4.0f}GB {r['nic_gb_per_s']:>4.0f}GB "
+              f"{r['gpus_per_node']:>6} "
+              f"{r['baseline_vgprs']:>3}->{r['fused_vgprs']:<3} "
+              f"{100 * r['fused_occupancy']:>8.1f}%")
+    print("\nfp32/fp16: peak TFLOP/s; HBM: peak bandwidth; link/nic: "
+          "per-link bandwidth;")
+    print("vgprs: derived baseline->fused kernel registers/thread; "
+          "fused occ: the fused")
+    print("kernel's derived occupancy (the calibrated MI210 loses the "
+          "paper's 12.5%).")
     return 0
 
 
@@ -128,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered sweeps"
                    ).set_defaults(fn=_cmd_list)
+
+    sub.add_parser(
+        "platforms",
+        help="list the hardware platform catalog (derived quantities)"
+    ).set_defaults(fn=_cmd_platforms)
 
     p_run = sub.add_parser("run", help="execute sweeps")
     p_run.add_argument("sweeps", nargs="+",

@@ -21,7 +21,7 @@ for CI).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..astra import run_dlrm_scaleout
 from ..bench.figures import (
@@ -51,6 +51,8 @@ from ..fused.gemv_allreduce import (
     FusedGemvAllReduce,
     GemvAllReduceConfig,
 )
+from ..hw.platform import PlatformLike, get_platform, \
+    max_occupancy_of_baseline
 from ..sim import TraceRecorder
 from .registry import assembler, register_sweep, runner
 from .specs import ScenarioSpec, SweepSpec, scenario
@@ -60,8 +62,21 @@ __all__ = [
     "fig13_sweep", "fig14_sweep", "fig15_sweep", "table1_sweep",
     "table2_sweep", "ablation_slice_size_sweep", "ablation_scheduling_sweep",
     "ablation_zero_copy_sweep", "ablation_cpu_proxy_sweep",
-    "ext_embedding_backward_sweep", "smoke_sweep",
+    "ext_embedding_backward_sweep", "smoke_sweep", "xhw_embedding_a2a_sweep",
+    "xhw_gemv_allreduce_sweep", "xhw_gemm_a2a_sweep", "xhw_scaleout_sweep",
+    "xhw_smoke_sweep", "XHW_PLATFORMS",
 ]
+
+
+def _platform_param(platform: PlatformLike):
+    """Canonical ``platform`` scenario parameter (hashed into store keys).
+
+    Resolving first normalizes every accepted spelling (``None``, name,
+    :class:`~repro.hw.platform.Platform`, params mapping) to one stable
+    JSON value: the catalog name when the platform is registered, else its
+    full params mapping.
+    """
+    return get_platform(platform).param()
 
 #: Hidden-scenario convention: labels starting with this prefix feed a
 #: figure's ``extra`` statistics but do not appear as rows.
@@ -84,6 +99,7 @@ def _embedding_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
     num_nodes = p.pop("num_nodes")
     gpus_per_node = p.pop("gpus_per_node")
+    platform = p.pop("platform", None)
     baseline = p.pop("baseline", None)
     cfg = EmbeddingA2AConfig(functional=False, **p)
     base_cfg = (cfg if baseline is None
@@ -91,7 +107,8 @@ def _embedding_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     row = compare(cfg.label,
                   lambda h: FusedEmbeddingAllToAll(h, cfg),
                   lambda h: BaselineEmbeddingAllToAll(h, base_cfg),
-                  num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+                  num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                  platform=platform)
     return {"fused_time": row.fused_time, "baseline_time": row.baseline_time}
 
 
@@ -102,9 +119,10 @@ def _embedding_fused(params: Dict[str, Any]) -> Dict[str, Any]:
     num_nodes = p.pop("num_nodes", 2)
     gpus_per_node = p.pop("gpus_per_node", 1)
     cpu_proxy = p.pop("cpu_proxy", False)
+    platform = p.pop("platform", None)
     cfg = EmbeddingA2AConfig(functional=False, **p)
     h = OpHarness(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
-                  cpu_proxy=cpu_proxy)
+                  cpu_proxy=cpu_proxy, platform=platform)
     out = h.run(FusedEmbeddingAllToAll(h, cfg))
     return {
         "elapsed": out.elapsed,
@@ -117,11 +135,12 @@ def _embedding_fused(params: Dict[str, Any]) -> Dict[str, Any]:
 def _gemv_allreduce_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
     world = p.pop("world", 4)
+    platform = p.pop("platform", None)
     cfg = GemvAllReduceConfig(functional=False, **p)
     row = compare(cfg.label,
                   lambda h: FusedGemvAllReduce(h, cfg),
                   lambda h: BaselineGemvAllReduce(h, cfg),
-                  num_nodes=1, gpus_per_node=world)
+                  num_nodes=1, gpus_per_node=world, platform=platform)
     return {"fused_time": row.fused_time, "baseline_time": row.baseline_time}
 
 
@@ -129,11 +148,12 @@ def _gemv_allreduce_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 def _gemm_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
     world = p.pop("world", 4)
+    platform = p.pop("platform", None)
     cfg = GemmA2AConfig(functional=False, **p)
     row = compare(cfg.label,
                   lambda h: FusedGemmAllToAll(h, cfg),
                   lambda h: BaselineGemmAllToAll(h, cfg),
-                  num_nodes=1, gpus_per_node=world)
+                  num_nodes=1, gpus_per_node=world, platform=platform)
     return {"fused_time": row.fused_time, "baseline_time": row.baseline_time}
 
 
@@ -142,11 +162,13 @@ def _embedding_grad_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
     num_nodes = p.pop("num_nodes", 2)
     gpus_per_node = p.pop("gpus_per_node", 1)
+    platform = p.pop("platform", None)
     cfg = EmbeddingA2AConfig(functional=False, **p)
     row = compare(cfg.label,
                   lambda h: FusedEmbeddingGradAllToAll(h, cfg),
                   lambda h: BaselineEmbeddingGradAllToAll(h, cfg),
-                  num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+                  num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                  platform=platform)
     return {"fused_time": row.fused_time, "baseline_time": row.baseline_time}
 
 
@@ -161,7 +183,8 @@ def _wg_timeline(params: Dict[str, Any]) -> Dict[str, Any]:
     cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
                              functional=False, slice_vectors=wgs_per_slice,
                              tasks_per_slice=wgs_per_slice)
-    h = OpHarness(num_nodes=2, gpus_per_node=1, trace=trace)
+    h = OpHarness(num_nodes=2, gpus_per_node=1, trace=trace,
+                  platform=params.get("platform"))
     result = h.run(FusedEmbeddingAllToAll(h, cfg))
 
     puts = trace.filter(kind="put_issue",
@@ -192,7 +215,8 @@ def _wg_timeline(params: Dict[str, Any]) -> Dict[str, Any]:
 
 @runner("dlrm_scaleout")
 def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
-    r = run_dlrm_scaleout(params["num_nodes"])
+    r = run_dlrm_scaleout(params["num_nodes"],
+                          platform=params.get("platform"))
     return {
         "fused_time": r.fused_time,
         "baseline_time": r.baseline_time,
@@ -205,7 +229,10 @@ def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
 def _table_setup(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..bench.figures import table1_setup, table2_setup
     which = params["which"]
-    fig = {"table1": table1_setup, "table2": table2_setup}[which]()
+    if which == "table1":
+        fig = table1_setup(platform=params.get("platform"))
+    else:
+        fig = table2_setup()
     return {"extra": dict(fig.extra)}
 
 
@@ -299,6 +326,36 @@ def _assemble_sched_skew(sweep: SweepSpec, specs, results, figure: str = "",
     return res
 
 
+def _platform_display(value) -> str:
+    """Display name of a canonical ``platform`` scenario parameter."""
+    return value if isinstance(value, str) else value.get("name", "custom")
+
+
+@assembler("xhw")
+def _assemble_xhw(sweep: SweepSpec, specs, results, figure: str = "",
+                  description: str = "") -> FigureResult:
+    """Cross-hardware semantics: fused/baseline rows per (platform,
+    workload) point plus per-platform speedup aggregates.
+
+    ``speedup_by_platform`` reports mean baseline/fused time per platform
+    (>1 = the fused operator wins), the headline number of the
+    cross-hardware what-if sweeps.
+    """
+    res = FigureResult(figure or sweep.title,
+                       description or sweep.description)
+    by_platform: Dict[str, List[float]] = {}
+    for spec, result in _visible(specs, results):
+        res.add(Row(label=spec.label, fused_time=result["fused_time"],
+                    baseline_time=result["baseline_time"]))
+        name = _platform_display(spec.params["platform"])
+        by_platform.setdefault(name, []).append(
+            result["baseline_time"] / result["fused_time"])
+    res.extra["speedup_by_platform"] = {
+        name: round(sum(v) / len(v), 4)
+        for name, v in by_platform.items()}
+    return res
+
+
 @assembler("scaleout")
 def _assemble_scaleout(sweep: SweepSpec, specs, results, figure: str = "",
                        description: str = "", paper_mean=None) -> FigureResult:
@@ -331,7 +388,11 @@ def _assemble_slice_ablation(sweep: SweepSpec, specs, results,
     for sv in times:
         res.add(Row(label=f"slice={sv}", fused_time=times[sv],
                     baseline_time=worst))
-    res.extra["times_us"] = {sv: round(t * 1e6, 1) for sv, t in times.items()}
+    # String keys: JSON object keys are strings, so an int-keyed dict
+    # would serialize in a different order fresh (numeric sort) vs from
+    # the cache (lexicographic), breaking byte-identical reports.
+    res.extra["times_us"] = {str(sv): round(t * 1e6, 1)
+                             for sv, t in times.items()}
     return res
 
 
@@ -376,41 +437,48 @@ def _assemble_proxy_ablation(sweep: SweepSpec, specs, results,
 # Sweep factories (parameterizable grids) + paper-default registrations.
 # ----------------------------------------------------------------------
 
-def _embedding_pair_scenarios(grid, num_nodes: int, gpus_per_node: int
+def _embedding_pair_scenarios(grid, num_nodes: int, gpus_per_node: int,
+                              platform: PlatformLike = None
                               ) -> List[ScenarioSpec]:
     return [
         scenario("embedding_a2a_pair", label=f"{batch}|{tables}",
                  global_batch=batch, tables_per_gpu=tables,
-                 num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+                 num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                 platform=_platform_param(platform))
         for batch, tables in grid
     ]
 
 
-def fig8_sweep(grid=FIG8_GRID, name: str = "fig8") -> SweepSpec:
+def fig8_sweep(grid=FIG8_GRID, name: str = "fig8",
+               platform: PlatformLike = None) -> SweepSpec:
     return SweepSpec.make(
         name, "Fig. 8",
-        _embedding_pair_scenarios(grid, num_nodes=1, gpus_per_node=4),
+        _embedding_pair_scenarios(grid, num_nodes=1, gpus_per_node=4,
+                                  platform=platform),
         assembler="rows", figure="Fig. 8",
         description="Normalized execution time, intra-node embedding+A2A",
         paper_mean=0.80, paper_best=0.68)
 
 
-def fig12_sweep(grid=FIG12_GRID, name: str = "fig12") -> SweepSpec:
+def fig12_sweep(grid=FIG12_GRID, name: str = "fig12",
+                platform: PlatformLike = None) -> SweepSpec:
     return SweepSpec.make(
         name, "Fig. 12",
-        _embedding_pair_scenarios(grid, num_nodes=2, gpus_per_node=1),
+        _embedding_pair_scenarios(grid, num_nodes=2, gpus_per_node=1,
+                                  platform=platform),
         assembler="rows", figure="Fig. 12",
         description="Normalized execution time, inter-node embedding+A2A",
         paper_mean=0.69, paper_best=0.42)
 
 
-def fig9_sweep(grid=FIG9_GRID, world: int = 4, name: str = "fig9"
-               ) -> SweepSpec:
+def fig9_sweep(grid=FIG9_GRID, world: int = 4, name: str = "fig9",
+               platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("gemv_allreduce_pair",
                  label=GemvAllReduceConfig(m=m, n_per_gpu=n_total // world,
                                            functional=False).label,
-                 m=m, n_per_gpu=n_total // world, world=world)
+                 m=m, n_per_gpu=n_total // world, world=world,
+                 platform=_platform_param(platform))
         for m, n_total in grid
     ]
     return SweepSpec.make(
@@ -419,13 +487,14 @@ def fig9_sweep(grid=FIG9_GRID, world: int = 4, name: str = "fig9"
         paper_mean=0.87, paper_best=0.78)
 
 
-def fig10_sweep(grid=FIG10_GRID, world: int = 4, name: str = "fig10"
-                ) -> SweepSpec:
+def fig10_sweep(grid=FIG10_GRID, world: int = 4, name: str = "fig10",
+                platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("gemm_a2a_pair",
                  label=GemmA2AConfig(tokens=tokens, model_dim=model_dim,
                                      ffn_dim=ffn, functional=False).label,
-                 tokens=tokens, model_dim=model_dim, ffn_dim=ffn, world=world)
+                 tokens=tokens, model_dim=model_dim, ffn_dim=ffn, world=world,
+                 platform=_platform_param(platform))
         for tokens, model_dim, ffn in grid
     ]
     return SweepSpec.make(
@@ -435,24 +504,29 @@ def fig10_sweep(grid=FIG10_GRID, world: int = 4, name: str = "fig10"
 
 
 def fig11_sweep(batch: int = 512, tables: int = 32, wgs_per_slice: int = 16,
-                timeline_width: int = 100, name: str = "fig11") -> SweepSpec:
+                timeline_width: int = 100, name: str = "fig11",
+                platform: PlatformLike = None) -> SweepSpec:
     return SweepSpec.make(
         name, "Fig. 11",
         [scenario("wg_timeline", label=f"{batch}|{tables}",
                   batch=batch, tables=tables, wgs_per_slice=wgs_per_slice,
-                  timeline_width=timeline_width)],
+                  timeline_width=timeline_width,
+                  platform=_platform_param(platform))],
         assembler="timeline", figure="Fig. 11",
         description="Profiled timeline of persistent WGs (node 0)")
 
 
 def fig13_sweep(batch: int = 1024, tables: int = 256,
-                fractions: Sequence[float] = (
-                    0.25, 0.375, 0.5, 0.625, 0.75, 0.875),
-                name: str = "fig13") -> SweepSpec:
+                fractions: Optional[Sequence[float]] = None,
+                name: str = "fig13",
+                platform: PlatformLike = None) -> SweepSpec:
+    from ..bench.figures import occupancy_fractions_for
+    fractions = occupancy_fractions_for(platform, fractions)
     scenarios = [
         scenario("embedding_fused", label=f"{100 * frac:.1f}%",
                  global_batch=batch, tables_per_gpu=tables,
-                 occupancy_of_baseline=frac, num_nodes=2, gpus_per_node=1)
+                 occupancy_of_baseline=frac, num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for frac in fractions
     ]
     return SweepSpec.make(
@@ -462,11 +536,13 @@ def fig13_sweep(batch: int = 1024, tables: int = 256,
 
 def fig14_sweep(grid: Sequence[Tuple[int, int]] = (
         (1024, 64), (2048, 32), (2048, 64)),
-        name: str = "fig14") -> SweepSpec:
+        name: str = "fig14",
+        platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("embedding_fused", label=f"{sched} {batch}|{tables}",
                  global_batch=batch, tables_per_gpu=tables, scheduler=sched,
-                 num_nodes=2, gpus_per_node=1)
+                 num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for sched in ("comm_aware", "oblivious")
         for batch, tables in grid
     ]
@@ -476,25 +552,30 @@ def fig14_sweep(grid: Sequence[Tuple[int, int]] = (
 
 
 def fig15_sweep(node_counts: Sequence[int] = (16, 32, 64, 128),
-                name: str = "fig15") -> SweepSpec:
+                name: str = "fig15",
+                platform: PlatformLike = None) -> SweepSpec:
+    plat = _platform_param(platform)
     scenarios = [
-        scenario("dlrm_scaleout", label=f"{n} nodes", num_nodes=n)
+        scenario("dlrm_scaleout", label=f"{n} nodes", num_nodes=n,
+                 platform=plat)
         for n in node_counts
     ]
     if 128 not in node_counts:
         scenarios.append(
             scenario("dlrm_scaleout", label=f"{HIDDEN}128 nodes",
-                     num_nodes=128))
+                     num_nodes=128, platform=plat))
     return SweepSpec.make(
         name, "Fig. 15", scenarios, assembler="scaleout", figure="Fig. 15",
         description="Scale-out DLRM training, fused vs baseline",
         paper_mean=0.79)
 
 
-def table1_sweep(name: str = "table1") -> SweepSpec:
+def table1_sweep(name: str = "table1",
+                 platform: PlatformLike = None) -> SweepSpec:
     return SweepSpec.make(
         name, "Table I",
-        [scenario("table_setup", label="setup", which="table1")],
+        [scenario("table_setup", label="setup", which="table1",
+                  platform=_platform_param(platform))],
         assembler="table", figure="Table I",
         description="System setup (simulated substrate)")
 
@@ -513,13 +594,17 @@ ABLATION_SLICES: Tuple[int, ...] = (8, 16, 32, 64, 128)
 
 def ablation_slice_size_sweep(batch: int = 1024, tables: int = 64,
                               slices: Sequence[int] = ABLATION_SLICES,
-                              name: str = "ablation-slice-size") -> SweepSpec:
+                              name: str = "ablation-slice-size",
+                              platform: PlatformLike = None) -> SweepSpec:
+    max_frac = max_occupancy_of_baseline(get_platform(platform).gpu)
     scenarios = [
-        # Occupancy pinned to the fused kernel's maximum so the sweep
-        # isolates communication granularity from grid-size effects.
+        # Occupancy pinned to the fused kernel's (platform-derived)
+        # maximum so the sweep isolates communication granularity from
+        # grid-size effects.
         scenario("embedding_fused", label=f"slice={sv}",
                  global_batch=batch, tables_per_gpu=tables, slice_vectors=sv,
-                 occupancy_of_baseline=0.875, num_nodes=2, gpus_per_node=1)
+                 occupancy_of_baseline=max_frac, num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for sv in slices
     ]
     return SweepSpec.make(
@@ -530,11 +615,13 @@ def ablation_slice_size_sweep(batch: int = 1024, tables: int = 64,
 
 def ablation_scheduling_sweep(grid: Sequence[Tuple[int, int]] = (
         (1024, 64), (2048, 64)),
-        name: str = "ablation-scheduling") -> SweepSpec:
+        name: str = "ablation-scheduling",
+        platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("embedding_fused", label=f"{sched} {batch}|{tables}",
                  global_batch=batch, tables_per_gpu=tables, scheduler=sched,
-                 num_nodes=2, gpus_per_node=1)
+                 num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for batch, tables in grid
         for sched in ("comm_aware", "oblivious")
     ]
@@ -545,12 +632,14 @@ def ablation_scheduling_sweep(grid: Sequence[Tuple[int, int]] = (
 
 def ablation_zero_copy_sweep(grid: Sequence[Tuple[int, int]] = (
         (1024, 64), (2048, 128)),
-        name: str = "ablation-zero-copy") -> SweepSpec:
+        name: str = "ablation-zero-copy",
+        platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("embedding_a2a_pair",
                  label=f"{batch}|{tables} zc={'on' if zc else 'off'}",
                  global_batch=batch, tables_per_gpu=tables, zero_copy=zc,
                  num_nodes=1, gpus_per_node=4,
+                 platform=_platform_param(platform),
                  baseline={"global_batch": batch, "tables_per_gpu": tables})
         for batch, tables in grid
         for zc in (True, False)
@@ -561,12 +650,14 @@ def ablation_zero_copy_sweep(grid: Sequence[Tuple[int, int]] = (
 
 
 def ablation_cpu_proxy_sweep(batch: int = 1024, tables: int = 64,
-                             name: str = "ablation-cpu-proxy") -> SweepSpec:
+                             name: str = "ablation-cpu-proxy",
+                             platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("embedding_fused",
                  label="cpu-proxy" if proxy else "gpu-initiated",
                  global_batch=batch, tables_per_gpu=tables, cpu_proxy=proxy,
-                 num_nodes=2, gpus_per_node=1)
+                 num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for proxy in (False, True)
     ]
     return SweepSpec.make(
@@ -577,11 +668,13 @@ def ablation_cpu_proxy_sweep(batch: int = 1024, tables: int = 64,
 
 def ext_embedding_backward_sweep(grid: Sequence[Tuple[int, int]] = (
         (256, 64), (1024, 64), (1024, 256), (4096, 64)),
-        name: str = "ext-embedding-backward") -> SweepSpec:
+        name: str = "ext-embedding-backward",
+        platform: PlatformLike = None) -> SweepSpec:
     scenarios = [
         scenario("embedding_grad_pair", label=f"{batch}|{tables}",
                  global_batch=batch, tables_per_gpu=tables,
-                 num_nodes=2, gpus_per_node=1)
+                 num_nodes=2, gpus_per_node=1,
+                 platform=_platform_param(platform))
         for batch, tables in grid
     ]
     return SweepSpec.make(
@@ -589,15 +682,112 @@ def ext_embedding_backward_sweep(grid: Sequence[Tuple[int, int]] = (
         description="fused gradient A2A + scatter-add (inter-node)")
 
 
+# ----------------------------------------------------------------------
+# Cross-hardware sweeps: the platform catalog as a sweep axis.
+# ----------------------------------------------------------------------
+
+#: Catalog entries the cross-hardware sweeps grid over by default.
+XHW_PLATFORMS: Tuple[str, ...] = ("mi210", "mi250x", "mi300x", "h100")
+
+#: Default workload points per cross-hardware sweep (kept small: the
+#: platform axis multiplies them).
+XHW_EMB_GRID: Tuple[Tuple[int, int], ...] = ((1024, 64), (4096, 256))
+XHW_GEMV_GRID: Tuple[Tuple[int, int], ...] = ((8192, 8192), (32768, 16384))
+XHW_GEMM_GRID: Tuple[Tuple[int, int, int], ...] = (
+    (2048, 4096, 8192), (8192, 4096, 14336))
+XHW_NODE_COUNTS: Tuple[int, ...] = (16, 64)
+
+
+def xhw_embedding_a2a_sweep(grid=XHW_EMB_GRID,
+                            platforms: Sequence[PlatformLike] = XHW_PLATFORMS,
+                            name: str = "xhw_embedding_a2a") -> SweepSpec:
+    """Fused embedding+A2A (Fig. 8 operator) across hardware platforms."""
+    scenarios = [
+        scenario("embedding_a2a_pair",
+                 label=f"{_platform_display(pp)} {batch}|{tables}",
+                 global_batch=batch, tables_per_gpu=tables,
+                 num_nodes=1, gpus_per_node=4, platform=pp)
+        for pp in map(_platform_param, platforms)
+        for batch, tables in grid
+    ]
+    return SweepSpec.make(
+        name, "Cross-HW", scenarios, assembler="xhw",
+        figure="Cross-HW embedding+A2A",
+        description="fused vs baseline embedding+A2A across platforms")
+
+
+def xhw_gemv_allreduce_sweep(grid=XHW_GEMV_GRID, world: int = 4,
+                             platforms: Sequence[PlatformLike]
+                             = XHW_PLATFORMS,
+                             name: str = "xhw_gemv_allreduce") -> SweepSpec:
+    """Fused GEMV+AllReduce (Fig. 9 operator) across hardware platforms."""
+    scenarios = [
+        scenario("gemv_allreduce_pair",
+                 label=f"{_platform_display(pp)} "
+                       f"{GemvAllReduceConfig(m=m, n_per_gpu=n // world, functional=False).label}",
+                 m=m, n_per_gpu=n // world, world=world, platform=pp)
+        for pp in map(_platform_param, platforms)
+        for m, n in grid
+    ]
+    return SweepSpec.make(
+        name, "Cross-HW", scenarios, assembler="xhw",
+        figure="Cross-HW GEMV+AllReduce",
+        description="fused vs baseline GEMV+AllReduce across platforms")
+
+
+def xhw_gemm_a2a_sweep(grid=XHW_GEMM_GRID, world: int = 4,
+                       platforms: Sequence[PlatformLike] = XHW_PLATFORMS,
+                       name: str = "xhw_gemm_a2a") -> SweepSpec:
+    """Fused GEMM+A2A (Fig. 10 operator) across hardware platforms."""
+    scenarios = [
+        scenario("gemm_a2a_pair",
+                 label=f"{_platform_display(pp)} "
+                       f"{tokens}x{model_dim}x{ffn}",
+                 tokens=tokens, model_dim=model_dim, ffn_dim=ffn,
+                 world=world, platform=pp)
+        for pp in map(_platform_param, platforms)
+        for tokens, model_dim, ffn in grid
+    ]
+    return SweepSpec.make(
+        name, "Cross-HW", scenarios, assembler="xhw",
+        figure="Cross-HW GEMM+All-to-All",
+        description="fused vs baseline GEMM+A2A across platforms")
+
+
+def xhw_scaleout_sweep(node_counts: Sequence[int] = XHW_NODE_COUNTS,
+                       platforms: Sequence[PlatformLike] = XHW_PLATFORMS,
+                       name: str = "xhw_scaleout") -> SweepSpec:
+    """Scale-out DLRM training (Fig. 15 workload) across platforms."""
+    scenarios = [
+        scenario("dlrm_scaleout",
+                 label=f"{_platform_display(pp)} {n} nodes",
+                 num_nodes=n, platform=pp)
+        for pp in map(_platform_param, platforms)
+        for n in node_counts
+    ]
+    return SweepSpec.make(
+        name, "Cross-HW", scenarios, assembler="xhw",
+        figure="Cross-HW DLRM scale-out",
+        description="fused vs baseline DLRM iteration across platforms")
+
+
+def xhw_smoke_sweep(name: str = "xhw-smoke") -> SweepSpec:
+    """Two-platform cross-hardware slice for CI cache-behaviour checks."""
+    return xhw_gemv_allreduce_sweep(grid=((8192, 8192),),
+                                    platforms=("mi210", "h100"), name=name)
+
+
 def smoke_sweep(name: str = "smoke") -> SweepSpec:
     """Small, fast sweep for CI cache-behaviour checks (~2 s serial)."""
+    plat = _platform_param(None)
     scenarios = [
         scenario("gemv_allreduce_pair", label="8k|2k",
-                 m=8192, n_per_gpu=2048, world=4),
+                 m=8192, n_per_gpu=2048, world=4, platform=plat),
         scenario("embedding_a2a_pair", label="256|16",
                  global_batch=256, tables_per_gpu=16,
-                 num_nodes=2, gpus_per_node=1),
-        scenario("dlrm_scaleout", label="16 nodes", num_nodes=16),
+                 num_nodes=2, gpus_per_node=1, platform=plat),
+        scenario("dlrm_scaleout", label="16 nodes", num_nodes=16,
+                 platform=plat),
     ]
     return SweepSpec.make(
         name, "Smoke", scenarios, assembler="rows", figure="Smoke",
@@ -621,5 +811,10 @@ ALL_SWEEPS: Tuple[SweepSpec, ...] = tuple(register_sweep(s) for s in (
     ablation_zero_copy_sweep(),
     ablation_cpu_proxy_sweep(),
     ext_embedding_backward_sweep(),
+    xhw_embedding_a2a_sweep(),
+    xhw_gemv_allreduce_sweep(),
+    xhw_gemm_a2a_sweep(),
+    xhw_scaleout_sweep(),
+    xhw_smoke_sweep(),
     smoke_sweep(),
 ))

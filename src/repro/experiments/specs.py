@@ -34,8 +34,9 @@ __all__ = [
 
 #: Version of the scenario/record schema.  Bump whenever a change to the
 #: simulation code or the spec layout invalidates previously cached
-#: results; every cached key changes with it.
-SCHEMA_VERSION = 1
+#: results; every cached key changes with it.  v2: scenario params carry a
+#: canonical ``platform`` field (the hardware catalog axis).
+SCHEMA_VERSION = 2
 
 
 def canonical_json(value: Any) -> str:

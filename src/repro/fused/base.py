@@ -24,29 +24,47 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..comm.runtime import Communicator
+from ..hw.gpu import GpuSpec, KernelResources
+from ..hw.platform import (
+    Platform,
+    PlatformLike,
+    derived_baseline_resources,
+    derived_fused_resources,
+    get_platform,
+)
 from ..hw.topology import Cluster
 from ..sim import NULL_TRACE, Simulator, TraceRecorder
 
 __all__ = ["OpResult", "OpHarness", "fused_kernel_resources",
            "baseline_kernel_resources"]
 
-from ..hw.gpu import KernelResources
 
-#: Baseline compute kernels: 256 threads, 64 VGPRs -> 100% occupancy on MI210.
-BASELINE_RESOURCES = KernelResources(threads_per_wg=256, vgprs_per_thread=64)
-#: Fused kernels: +8 VGPRs for GPU-initiated networking state -> 87.5%
-#: occupancy, the 12.5% loss the paper reports (Section III-C).
-FUSED_RESOURCES = KernelResources(threads_per_wg=256, vgprs_per_thread=72)
+def baseline_kernel_resources(
+        spec: Optional[GpuSpec] = None) -> KernelResources:
+    """Resource descriptor of a baseline (non-communicating) kernel.
+
+    Derived from the device's occupancy model (see
+    :mod:`repro.hw.platform`): 256-thread WGs at the largest VGPR budget
+    that still fills every wave slot.  ``spec`` defaults to the calibrated
+    default platform's GPU.
+    """
+    if spec is None:
+        spec = get_platform().gpu
+    return derived_baseline_resources(spec)
 
 
-def baseline_kernel_resources() -> KernelResources:
-    """Resource descriptor of a baseline (non-communicating) kernel."""
-    return BASELINE_RESOURCES
+def fused_kernel_resources(spec: Optional[GpuSpec] = None) -> KernelResources:
+    """Resource descriptor of a fused kernel (extra comm registers).
 
-
-def fused_kernel_resources() -> KernelResources:
-    """Resource descriptor of a fused kernel (extra comm registers)."""
-    return FUSED_RESOURCES
+    The communication state costs :data:`repro.hw.platform.COMM_VGPRS`
+    registers/thread on every device; what occupancy that buys depends on
+    the device's register-file geometry — 87.5% on the calibrated MI210
+    (the paper's reported 12.5% loss, Section III-C), and correspondingly
+    different on other platforms.
+    """
+    if spec is None:
+        spec = get_platform().gpu
+    return derived_fused_resources(spec)
 
 
 @dataclass
@@ -73,13 +91,15 @@ class OpHarness:
 
     def __init__(self, num_nodes: int = 1, gpus_per_node: int = 4,
                  trace: Optional[TraceRecorder] = None,
-                 cpu_proxy: bool = False):
+                 cpu_proxy: bool = False,
+                 platform: PlatformLike = None):
         self.sim = Simulator()
         self.trace = trace if trace is not None else NULL_TRACE
+        self.platform: Platform = get_platform(platform)
         from ..hw.topology import build_cluster
         self.cluster: Cluster = build_cluster(
             self.sim, num_nodes=num_nodes, gpus_per_node=gpus_per_node,
-            trace=self.trace)
+            platform=self.platform, trace=self.trace)
         self.comm = Communicator(self.cluster, cpu_proxy=cpu_proxy)
 
     @property

@@ -191,7 +191,7 @@ class FusedEmbeddingAllToAll:
             return cfg.tasks_per_slice
         n_slices = world * cfg.tables_per_gpu * cfg.slices_per_stripe(world)
         gpu = self.cluster.gpu(rank)
-        occ = gpu.occupancy(fused_kernel_resources())
+        occ = gpu.occupancy(fused_kernel_resources(gpu.spec))
         slots = min(occ.resident_wgs, n_slices)
         target = math.ceil(8 * slots / n_slices)
         for div in (1, 2, 4, 8, 16, 32):
@@ -305,8 +305,8 @@ class FusedEmbeddingAllToAll:
         if frac is None:
             return None
         gpu = self.cluster.gpu(rank)
-        base = gpu.occupancy(baseline_kernel_resources()).resident_wgs
-        fused = gpu.occupancy(fused_kernel_resources()).resident_wgs
+        base = gpu.occupancy(baseline_kernel_resources(gpu.spec)).resident_wgs
+        fused = gpu.occupancy(fused_kernel_resources(gpu.spec)).resident_wgs
         limit = frac * base / fused
         if limit > 1.0 + 1e-9:
             raise ValueError(
@@ -321,8 +321,9 @@ class FusedEmbeddingAllToAll:
         kernels = []
         for r in range(self.world):
             tasks = self._build_tasks(r)
+            gpu = self.cluster.gpu(r)
             kernels.append(PersistentKernel(
-                self.cluster.gpu(r), fused_kernel_resources(), tasks,
+                gpu, fused_kernel_resources(gpu.spec), tasks,
                 name=f"fused_emb_a2a[{r}]",
                 occupancy_limit=self._kernel_occupancy_limit(r),
                 epilogue=self._epilogue(r),
@@ -360,7 +361,7 @@ class BaselineEmbeddingAllToAll:
     def run(self):
         cfg, world = self.cfg, self.world
         cost = embedding_wg_cost(cfg.pooling, cfg.dim, ITEMSIZE)
-        res = baseline_kernel_resources()
+        res = baseline_kernel_resources(self.cluster.gpu(0).spec)
 
         pooled_all: List[List[np.ndarray]] = [[] for _ in range(world)]
 

@@ -234,8 +234,9 @@ class FusedEmbeddingGradAllToAll:
         self.stats["rank_end_times"] = {}
         kernels = []
         for r in range(self.world):
+            gpu = self.cluster.gpu(r)
             kernels.append(PersistentKernel(
-                self.cluster.gpu(r), fused_kernel_resources(),
+                gpu, fused_kernel_resources(gpu.spec),
                 self._build_tasks(r), name=f"fused_emb_grad_a2a[{r}]",
                 trace=self.harness.trace))
 
@@ -280,9 +281,10 @@ class BaselineEmbeddingGradAllToAll:
         cost = _scatter_cost(cfg, 1)
 
         def rank_proc(r):
+            gpu = self.cluster.gpu(r)
             yield self.sim.timeout(bulk_kernel_time(
-                self.cluster.gpu(r), n_vectors, cost,
-                baseline_kernel_resources()))
+                gpu, n_vectors, cost,
+                baseline_kernel_resources(gpu.spec)))
 
         procs = [self.sim.process(rank_proc(r)) for r in range(world)]
         yield self.sim.all_of(procs)

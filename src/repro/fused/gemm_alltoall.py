@@ -270,8 +270,9 @@ class FusedGemmAllToAll:
             # build_tasks and the wrapper via the op's dicts; construct
             # per rank.
             tasks = self._build_tasks(r)
+            gpu = self.cluster.gpu(r)
             kernels.append(PersistentKernel(
-                self.cluster.gpu(r), fused_kernel_resources(), tasks,
+                gpu, fused_kernel_resources(gpu.spec), tasks,
                 name=f"fused_gemm_a2a[{r}]", epilogue=self._epilogue(r),
                 trace=self.harness.trace))
 
@@ -324,7 +325,7 @@ class BaselineGemmAllToAll:
         n_tiles = grid[0] * grid[1]
         cost = gemm_wg_cost(cfg.block_m, cfg.block_n, cfg.model_dim,
                             itemsize=cfg.itemsize, dtype=cfg.flop_dtype)
-        res = baseline_kernel_resources()
+        res = baseline_kernel_resources(self.cluster.gpu(0).spec)
 
         outputs: List[Optional[np.ndarray]] = [None] * world
 

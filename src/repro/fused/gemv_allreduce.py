@@ -288,8 +288,9 @@ class FusedGemvAllReduce:
         kernels = []
         for r in range(self.world):
             tasks = self._build_tasks(r)
+            gpu = self.cluster.gpu(r)
             kernels.append(PersistentKernel(
-                self.cluster.gpu(r), fused_kernel_resources(), tasks,
+                gpu, fused_kernel_resources(gpu.spec), tasks,
                 name=f"fused_gemv_ar[{r}]",
                 epilogue=self._epilogue(r),
                 trace=self.harness.trace))
@@ -328,7 +329,7 @@ class BaselineGemvAllReduce:
         n_tiles = cfg.m // cfg.tile_rows
         cost = gemv_wg_cost(cfg.tile_rows, cfg.n_per_gpu, cfg.itemsize)
         cost = WgCost(cost.flops, cost.bytes, cfg.flop_dtype, 0.0)
-        res = baseline_kernel_resources()
+        res = baseline_kernel_resources(self.cluster.gpu(0).spec)
 
         partials: List[Optional[np.ndarray]] = [None] * world
 

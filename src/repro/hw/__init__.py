@@ -1,10 +1,22 @@
-"""Hardware models: GPUs, HBM, fabric links, NICs, clusters."""
+"""Hardware models: GPUs, HBM, fabric, NICs, clusters, and the pluggable
+platform catalog (:mod:`repro.hw.platform`)."""
 
 from .fabric import Fabric
-from .gpu import Gpu, KernelResources, OccupancyInfo, WgCost
+from .gpu import Gpu, KernelResources, OccupancyInfo, WgCost, occupancy_for
 from .memory import HbmModel
 from .network import Network
 from .nic import Nic
+from .platform import (
+    CATALOG,
+    DEFAULT_PLATFORM,
+    Platform,
+    derived_baseline_resources,
+    derived_fused_resources,
+    generic,
+    get_platform,
+    list_platforms,
+    register_platform,
+)
 from .specs import (
     IB_NIC,
     IF_LINK,
@@ -20,8 +32,10 @@ from .specs import (
 from .topology import Cluster, Node, build_cluster, build_node, from_cluster_spec
 
 __all__ = [
+    "CATALOG",
     "Cluster",
     "ClusterSpec",
+    "DEFAULT_PLATFORM",
     "Fabric",
     "Gpu",
     "GpuSpec",
@@ -37,10 +51,18 @@ __all__ = [
     "Node",
     "NodeSpec",
     "OccupancyInfo",
+    "Platform",
     "WgCost",
     "build_cluster",
     "build_node",
+    "derived_baseline_resources",
+    "derived_fused_resources",
     "from_cluster_spec",
+    "generic",
+    "get_platform",
+    "list_platforms",
     "mi210_node_spec",
+    "occupancy_for",
+    "register_platform",
     "two_node_cluster_spec",
 ]

@@ -23,7 +23,8 @@ from ..sim import NULL_TRACE, Simulator, TraceRecorder
 from .memory import HbmModel
 from .specs import GpuSpec
 
-__all__ = ["WgCost", "KernelResources", "OccupancyInfo", "Gpu"]
+__all__ = ["WgCost", "KernelResources", "OccupancyInfo", "Gpu",
+           "occupancy_for"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,32 @@ class OccupancyInfo:
                              max_resident, frac)
 
 
+def occupancy_for(spec: GpuSpec, res: KernelResources) -> OccupancyInfo:
+    """Hardware allocation rules applied to kernel resource usage.
+
+    Pure function of two frozen dataclasses; :meth:`Gpu.occupancy` is the
+    memoized per-device view of it.
+    """
+    s = spec
+    waves_per_wg = math.ceil(res.threads_per_wg / s.wave_size)
+    vgpr_alloc = math.ceil(res.vgprs_per_thread / s.vgpr_granule) * s.vgpr_granule
+    waves_per_simd = min(s.max_waves_per_simd, s.vgprs_per_simd // vgpr_alloc)
+    if waves_per_simd < 1:
+        raise ValueError(
+            f"kernel uses {res.vgprs_per_thread} VGPRs/thread; cannot fit "
+            f"a single wave on {s.name}")
+    waves_per_cu = waves_per_simd * s.simds_per_cu
+    wgs_per_cu = waves_per_cu // waves_per_wg
+    if res.lds_per_wg > 0:
+        wgs_per_cu = min(wgs_per_cu, s.lds_per_cu // res.lds_per_wg)
+    wgs_per_cu = min(wgs_per_cu, s.max_wgs_per_cu)
+    if wgs_per_cu < 1:
+        raise ValueError("kernel resources exceed a single CU")
+    resident = wgs_per_cu * s.num_cus
+    fraction = (wgs_per_cu * waves_per_wg) / s.max_waves_per_cu
+    return OccupancyInfo(waves_per_wg, wgs_per_cu, resident, fraction)
+
+
 class Gpu:
     """One simulated GPU.
 
@@ -110,14 +137,28 @@ class Gpu:
                  node_id: int = 0, local_id: int = 0,
                  trace: Optional[TraceRecorder] = None):
         self.sim = sim
-        self.spec = spec
         self.gpu_id = gpu_id
         self.node_id = node_id
         self.local_id = local_id
         self.trace = trace if trace is not None else NULL_TRACE
-        self.hbm = HbmModel(spec)
         self.fabric = None   # set by topology: repro.hw.fabric.Fabric
         self.nic = None      # set by topology: repro.hw.nic.Nic
+        self.spec = spec     # property: also builds the HBM model + caches
+
+    @property
+    def spec(self) -> GpuSpec:
+        return self._spec
+
+    @spec.setter
+    def spec(self, spec: GpuSpec) -> None:
+        """Swap the device spec (ablations), dropping every derived cache.
+
+        The occupancy/duration memos and the HBM model are functions of the
+        spec's *content*; rebuilding them here guarantees an overridden or
+        replaced spec can never read another spec's cached entries.
+        """
+        self._spec = spec
+        self.hbm = HbmModel(spec)
         # Kernels ask for the same handful of (resources, cost, occupancy)
         # combinations thousands of times per launch; both calculations are
         # pure functions of frozen dataclasses, so memoize per device.
@@ -137,24 +178,7 @@ class Gpu:
         cached = self._occupancy_cache.get(res)
         if cached is not None:
             return cached
-        s = self.spec
-        waves_per_wg = math.ceil(res.threads_per_wg / s.wave_size)
-        vgpr_alloc = math.ceil(res.vgprs_per_thread / s.vgpr_granule) * s.vgpr_granule
-        waves_per_simd = min(s.max_waves_per_simd, s.vgprs_per_simd // vgpr_alloc)
-        if waves_per_simd < 1:
-            raise ValueError(
-                f"kernel uses {res.vgprs_per_thread} VGPRs/thread; cannot fit "
-                f"a single wave on {s.name}")
-        waves_per_cu = waves_per_simd * s.simds_per_cu
-        wgs_per_cu = waves_per_cu // waves_per_wg
-        if res.lds_per_wg > 0:
-            wgs_per_cu = min(wgs_per_cu, s.lds_per_cu // res.lds_per_wg)
-        wgs_per_cu = min(wgs_per_cu, s.max_wgs_per_cu)
-        if wgs_per_cu < 1:
-            raise ValueError("kernel resources exceed a single CU")
-        resident = wgs_per_cu * s.num_cus
-        fraction = (wgs_per_cu * waves_per_wg) / s.max_waves_per_cu
-        info = OccupancyInfo(waves_per_wg, wgs_per_cu, resident, fraction)
+        info = occupancy_for(self._spec, res)
         self._occupancy_cache[res] = info
         return info
 

@@ -40,6 +40,19 @@ class HbmModel:
 
     def __init__(self, spec: GpuSpec):
         self.spec = spec
+
+    @property
+    def spec(self) -> GpuSpec:
+        return self._spec
+
+    @spec.setter
+    def spec(self, spec: GpuSpec) -> None:
+        """Swap the device spec, revalidating and dropping every cache.
+
+        The efficiency table and the bandwidth memo are functions of the
+        spec's content; rebuilding them here keeps a swapped-in spec from
+        ever reading another spec's cached entries.
+        """
         pts = tuple(spec.hbm_efficiency)
         if len(pts) < 2:
             raise ValueError("hbm_efficiency needs at least two points")
@@ -48,6 +61,7 @@ class HbmModel:
             raise ValueError("hbm_efficiency occupancies must be increasing")
         if xs[0] != 0.0:
             raise ValueError("hbm_efficiency must start at occupancy 0.0")
+        self._spec = spec
         self._points = pts
         # Kernels evaluate the model at a handful of distinct occupancies,
         # thousands of times each; the model is a pure function of the frozen

@@ -18,7 +18,7 @@ from .fabric import Fabric
 from .gpu import Gpu
 from .network import Network
 from .nic import Nic
-from .specs import ClusterSpec, NodeSpec, mi210_node_spec
+from .specs import ClusterSpec, NodeSpec
 
 __all__ = ["Node", "Cluster", "build_node", "build_cluster"]
 
@@ -68,10 +68,21 @@ class Cluster:
         return self.gpus[rank_a].node_id == self.gpus[rank_b].node_id
 
 
-def build_node(sim: Simulator, spec: NodeSpec, node_id: int = 0,
-               first_gpu_id: int = 0,
-               trace: Optional[TraceRecorder] = None) -> Node:
-    """Construct one node: GPUs, fully-connected fabric, one NIC."""
+def build_node(sim: Simulator, spec: Optional[NodeSpec] = None,
+               node_id: int = 0, first_gpu_id: int = 0,
+               trace: Optional[TraceRecorder] = None,
+               platform=None) -> Node:
+    """Construct one node: GPUs, fully-connected fabric, one NIC.
+
+    Either an explicit :class:`NodeSpec` or a ``platform`` (anything
+    :func:`repro.hw.platform.get_platform` resolves) selects the hardware;
+    omitting both builds the paper's calibrated MI210 node.
+    """
+    if spec is not None and platform is not None:
+        raise ValueError("pass spec or platform, not both")
+    if spec is None:
+        from .platform import get_platform
+        spec = get_platform(platform).node_spec()
     gpus = [
         Gpu(sim, spec.gpu, gpu_id=first_gpu_id + i, node_id=node_id,
             local_id=i, trace=trace)
@@ -84,11 +95,24 @@ def build_node(sim: Simulator, spec: NodeSpec, node_id: int = 0,
 
 def build_cluster(sim: Simulator, num_nodes: int = 1, gpus_per_node: int = 4,
                   node_spec: Optional[NodeSpec] = None,
-                  trace: Optional[TraceRecorder] = None) -> Cluster:
-    """Construct a cluster in rank order (node-major GPU numbering)."""
+                  trace: Optional[TraceRecorder] = None,
+                  platform=None) -> Cluster:
+    """Construct a cluster in rank order (node-major GPU numbering).
+
+    Hardware comes from ``node_spec`` if given, else from ``platform``
+    (anything :func:`repro.hw.platform.get_platform` resolves: a catalog
+    name, a :class:`~repro.hw.platform.Platform`, or its params mapping);
+    the default platform is the paper's calibrated MI210.
+    """
     if num_nodes < 1:
         raise ValueError("num_nodes must be >= 1")
-    spec = node_spec if node_spec is not None else mi210_node_spec(gpus_per_node)
+    if node_spec is not None and platform is not None:
+        raise ValueError("pass node_spec or platform, not both")
+    if node_spec is not None:
+        spec = node_spec
+    else:
+        from .platform import get_platform
+        spec = get_platform(platform).node_spec(gpus_per_node)
     tr = trace if trace is not None else NULL_TRACE
     network = Network(sim, spec.nic, num_nodes) if num_nodes > 1 else None
     nodes = []

@@ -37,7 +37,9 @@ def suggest_grid(gpu: Gpu, resources: KernelResources,
 
 def occupancy_sweep_points(max_fraction: float = 0.875,
                            steps: int = 6) -> List[float]:
-    """The paper's Fig. 13 sweep: evenly spaced up to the fused max (87.5%)."""
+    """The paper's Fig. 13 sweep: evenly spaced up to the fused kernel's
+    maximum on the calibrated MI210 (87.5%; other platforms derive their
+    own maximum from the register-file geometry)."""
     if steps < 2:
         raise ValueError("need at least two sweep points")
     if not (0.0 < max_fraction <= 1.0):

@@ -136,3 +136,12 @@ class MoeLayer:
             model_dim=self.cfg.model_dim,
             ffn_dim=self.cfg.ffn_dim,
             block_m=block_m, block_n=block_n, functional=functional)
+
+    def expert_harness(self, platform=None, trace=None):
+        """A single-node harness with one rank per expert, on the given
+        hardware ``platform`` (anything
+        :func:`repro.hw.platform.get_platform` resolves; default MI210) —
+        ready to run the :meth:`gemm_config` workload."""
+        from ..fused.base import OpHarness
+        return OpHarness(num_nodes=1, gpus_per_node=self.num_experts,
+                         platform=platform, trace=trace)

@@ -107,3 +107,12 @@ class TensorParallelMlp:
         return GemvAllReduceConfig(
             m=self.cfg.hidden, n_per_gpu=self.cfg.shard_columns(),
             tile_rows=tile_rows, functional=functional)
+
+    def decode_harness(self, platform=None, trace=None):
+        """A single-node harness sized for this block's tensor-parallel
+        world, on the given hardware ``platform`` (anything
+        :func:`repro.hw.platform.get_platform` resolves; default MI210) —
+        ready to run the :meth:`gemv_config` workload."""
+        from ..fused.base import OpHarness
+        return OpHarness(num_nodes=1, gpus_per_node=self.world,
+                         platform=platform, trace=trace)

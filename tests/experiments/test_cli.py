@@ -81,3 +81,23 @@ def test_no_cache_flag_disables_store(tmp_path, capsys):
 def test_unknown_sweep_errors():
     with pytest.raises(KeyError, match="unknown sweep"):
         main(["run", "definitely-not-a-sweep"])
+
+
+def test_platforms_subcommand_lists_catalog(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mi210", "mi250x", "mi300x", "h100"):
+        assert name in out
+    # The calibrated entry shows the paper's derived footprint.
+    assert "64->72" in out
+    assert "87.5%" in out
+
+
+def test_run_xhw_smoke_caches_and_reports_speedups(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "xhw-smoke", "--cache", str(cache), "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup_by_platform" in out
+    assert "h100" in out
+    assert main(["run", "xhw-smoke", "--cache", str(cache), "--quiet",
+                 "--expect-cached"]) == 0

@@ -1,0 +1,230 @@
+"""Platform catalog: round-trips, stable hashes, derived resources."""
+
+import hashlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.specs import canonical_json
+from repro.hw import (
+    CATALOG,
+    MI210,
+    Gpu,
+    KernelResources,
+    Platform,
+    build_cluster,
+    build_node,
+    derived_baseline_resources,
+    derived_fused_resources,
+    generic,
+    get_platform,
+    list_platforms,
+    mi210_node_spec,
+    occupancy_for,
+    register_platform,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Catalog contents and resolution
+# ---------------------------------------------------------------------------
+
+def test_catalog_names():
+    assert {"mi210", "mi250x", "mi300x", "h100"} <= set(CATALOG)
+    assert [p.name for p in list_platforms()] == sorted(CATALOG)
+
+
+def test_mi210_entry_is_the_calibrated_profile():
+    assert get_platform() is CATALOG["mi210"]
+    assert get_platform("mi210").gpu is MI210
+    assert get_platform("mi210").node_spec(4) == mi210_node_spec(4)
+
+
+def test_get_platform_resolution_forms():
+    p = CATALOG["h100"]
+    assert get_platform(p) is p
+    assert get_platform("h100") is p
+    assert get_platform(p.to_params()) == p
+    with pytest.raises(KeyError, match="unknown platform"):
+        get_platform("tpu9000")
+    with pytest.raises(TypeError):
+        get_platform(42)
+
+
+def test_register_platform_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register_platform(CATALOG["mi210"].with_overrides())
+
+
+def test_generic_constructor():
+    g = generic("fat-hbm", hbm_bandwidth=4e12, num_cus=200)
+    assert g.gpu.name == "fat-hbm"
+    assert g.gpu.hbm_bandwidth == 4e12
+    assert g.gpu.num_cus == 200
+    # Non-overridden microarchitecture comes from the MI210 template.
+    assert g.gpu.wave_size == MI210.wave_size
+    # Not in the catalog -> canonical param is the full mapping.
+    assert isinstance(g.param(), dict)
+    assert get_platform(g.param()) == g
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips and cross-process hash stability
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted("mi210 mi250x mi300x h100".split()))
+def test_params_round_trip(name):
+    p = CATALOG[name]
+    again = Platform.from_params(p.to_params())
+    assert again == p
+    assert again.gpu.hbm_efficiency == p.gpu.hbm_efficiency
+    assert p.param() == name
+
+
+def test_params_round_trip_generic():
+    g = generic("oddball", vgprs_per_simd=256, max_waves_per_simd=10)
+    assert Platform.from_params(g.to_params()) == g
+
+
+def test_platform_hash_stable_across_processes():
+    """The canonical JSON of a platform's params (what scenario keys hash)
+    must not depend on the process that produced it."""
+    here = {p.name: hashlib.sha256(
+        canonical_json(p.to_params()).encode()).hexdigest()
+        for p in list_platforms()}
+    code = (
+        "import hashlib, json\n"
+        "from repro.hw import list_platforms\n"
+        "from repro.experiments.specs import canonical_json\n"
+        "print(json.dumps({p.name: hashlib.sha256("
+        "canonical_json(p.to_params()).encode()).hexdigest()"
+        " for p in list_platforms()}))\n"
+    )
+    out = subprocess.run([sys.executable, "-c", code], check=True,
+                         capture_output=True, text=True).stdout
+    import json
+    assert json.loads(out) == here
+
+
+# ---------------------------------------------------------------------------
+# Derived kernel resources
+# ---------------------------------------------------------------------------
+
+def test_mi210_derivation_matches_the_paper():
+    """On the calibrated device the derivation must yield the paper's
+    numbers: 64 -> 72 VGPRs, 100% -> 87.5% occupancy (12.5% loss)."""
+    assert derived_baseline_resources(MI210) == KernelResources(256, 64)
+    assert derived_fused_resources(MI210) == KernelResources(256, 72)
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    assert gpu.occupancy(derived_baseline_resources(MI210)).fraction == 1.0
+    assert gpu.occupancy(derived_fused_resources(MI210)).fraction == 0.875
+
+
+@pytest.mark.parametrize("name", sorted("mi210 mi250x mi300x h100".split()))
+def test_derived_resources_valid_on_every_catalog_entry(name):
+    p = CATALOG[name]
+    base = occupancy_for(p.gpu, p.baseline_resources())
+    fused = occupancy_for(p.gpu, p.fused_resources())
+    # The baseline footprint fills the device; the fused footprint pays a
+    # strictly positive register bill but still fits.
+    assert base.fraction == 1.0
+    assert 0.0 < fused.fraction <= base.fraction
+    assert fused.resident_wgs >= p.gpu.num_cus
+    d = p.describe()
+    assert d["fused_vgprs"] == d["baseline_vgprs"] + 8
+
+
+@given(vgprs_per_simd=st.sampled_from([128, 256, 512, 1024]),
+       max_waves=st.sampled_from([4, 8, 10, 16]),
+       granule=st.sampled_from([4, 8, 16]),
+       wave_size=st.sampled_from([32, 64]),
+       simds=st.sampled_from([2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_derived_resources_valid_on_generic_geometry(
+        vgprs_per_simd, max_waves, granule, wave_size, simds):
+    """Any plausible register-file geometry yields a valid occupancy."""
+    p = generic("prop", vgprs_per_simd=vgprs_per_simd,
+                max_waves_per_simd=max_waves, vgpr_granule=granule,
+                wave_size=wave_size, simds_per_cu=simds)
+    base = occupancy_for(p.gpu, p.baseline_resources())
+    fused = occupancy_for(p.gpu, p.fused_resources())
+    assert 0.0 < fused.fraction <= base.fraction <= 1.0
+    assert fused.resident_wgs >= 1
+
+
+# ---------------------------------------------------------------------------
+# Cluster construction from platforms
+# ---------------------------------------------------------------------------
+
+def test_build_cluster_from_platform():
+    sim = Simulator()
+    cluster = build_cluster(sim, num_nodes=1, gpus_per_node=4,
+                            platform="h100")
+    assert all(g.spec.name == "H100" for g in cluster.gpus)
+    assert cluster.nodes[0].fabric.spec.name == "NVLink4"
+    assert cluster.nodes[0].nic.spec.name == "InfiniBand-NDR"
+
+
+def test_build_cluster_rejects_both_spec_and_platform():
+    with pytest.raises(ValueError, match="not both"):
+        build_cluster(Simulator(), node_spec=mi210_node_spec(2),
+                      platform="h100")
+
+
+def test_build_node_from_platform_uses_default_width():
+    node = build_node(Simulator(), platform="mi300x")
+    assert len(node.gpus) == CATALOG["mi300x"].gpus_per_node
+
+
+def test_default_build_is_bitwise_mi210():
+    """Omitting the platform must build exactly the seed's MI210 node."""
+    a = build_cluster(Simulator(), num_nodes=1, gpus_per_node=2)
+    b = build_cluster(Simulator(), num_nodes=1, gpus_per_node=2,
+                      platform="mi210")
+    assert a.gpus[0].spec is b.gpus[0].spec is MI210
+
+
+def test_registered_custom_platform_serializes_in_full():
+    """Only built-in entries collapse to a bare name: a runtime-registered
+    platform must carry its full params (workers re-importing the catalog
+    cannot replay the registration, and the store key must hash the
+    device's content, not a reusable name)."""
+    p = register_platform(generic("param-test-dev", hbm_bandwidth=2e12))
+    try:
+        assert isinstance(p.param(), dict)
+        assert get_platform(p.param()) == p
+    finally:
+        del CATALOG["param-test-dev"]
+
+
+def test_build_node_rejects_both_spec_and_platform():
+    import pytest as _pytest
+    with _pytest.raises(ValueError, match="not both"):
+        build_node(Simulator(), mi210_node_spec(2), platform="h100")
+
+
+def test_max_occupancy_of_baseline():
+    from repro.hw.platform import max_occupancy_of_baseline
+    assert max_occupancy_of_baseline(MI210) == 0.875
+    assert max_occupancy_of_baseline(CATALOG["h100"].gpu) == 0.75
+
+
+def test_register_platform_never_rebinds_builtins():
+    """Built-in names are cache content addresses — not even overwrite=True
+    may change what they mean."""
+    impostor = generic("mi210", num_cus=999)
+    with pytest.raises(ValueError, match="built-in"):
+        register_platform(impostor, overwrite=True)
+    assert get_platform("mi210").gpu is MI210
+
+
+def test_derivation_raises_early_when_no_fused_kernel_fits():
+    """A device too small for any fused footprint fails at derivation time
+    (clear message), not at kernel launch."""
+    with pytest.raises(ValueError, match="fused kernel"):
+        generic("tiny", simds_per_cu=1, vgprs_per_simd=64,
+                vgpr_granule=16, max_waves_per_simd=8).fused_resources()

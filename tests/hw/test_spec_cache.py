@@ -1,0 +1,71 @@
+"""Spec-identity regression tests for the hardware-model memoization.
+
+The occupancy/duration/bandwidth caches are pure functions of the device
+spec's *content*; swapping a spec (a ``with_overrides`` ablation) or
+simulating two platforms in one process must never serve one spec's
+cached entries for another.
+"""
+
+from repro.hw import Gpu, HbmModel, KernelResources, WgCost, get_platform
+from repro.hw.specs import MI210
+from repro.sim import Simulator
+
+RES = KernelResources(threads_per_wg=256, vgprs_per_thread=72)
+COST = WgCost(flops=1e6, bytes=1 << 20, access="gather")
+
+
+def test_gpu_spec_swap_invalidates_caches():
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ_before = gpu.occupancy(RES)
+    dur_before = gpu.wg_duration(COST, occ_before)
+
+    halved = MI210.with_overrides(hbm_bandwidth=MI210.hbm_bandwidth / 2,
+                                  vgprs_per_simd=256)
+    gpu.spec = halved
+    fresh = Gpu(Simulator(), halved, gpu_id=1)
+
+    # Post-swap answers must match a GPU built with the new spec...
+    occ_after = gpu.occupancy(RES)
+    assert occ_after == fresh.occupancy(RES)
+    assert gpu.wg_duration(COST, occ_after) == \
+        fresh.wg_duration(COST, occ_after)
+    # ...and must not be the old spec's cached entries.
+    assert occ_after != occ_before
+    assert gpu.wg_duration(COST, occ_after) != dur_before
+    # The HBM model was rebuilt around the new spec too.
+    assert gpu.hbm.spec is halved
+
+
+def test_gpu_spec_swap_back_restores_original_results():
+    gpu = Gpu(Simulator(), MI210, gpu_id=0)
+    occ = gpu.occupancy(RES)
+    dur = gpu.wg_duration(COST, occ)
+    gpu.spec = MI210.with_overrides(hbm_bandwidth=1e11)
+    gpu.wg_duration(COST, gpu.occupancy(RES))
+    gpu.spec = MI210
+    assert gpu.occupancy(RES) == occ
+    assert gpu.wg_duration(COST, occ) == dur
+
+
+def test_hbm_model_spec_swap_invalidates_cache():
+    hbm = HbmModel(MI210)
+    before = hbm.achieved_bandwidth(0.5, access="gather")
+    halved = MI210.with_overrides(hbm_bandwidth=MI210.hbm_bandwidth / 2)
+    hbm.spec = halved
+    assert hbm.achieved_bandwidth(0.5, access="gather") == \
+        HbmModel(halved).achieved_bandwidth(0.5, access="gather")
+    assert hbm.achieved_bandwidth(0.5, access="gather") == before / 2
+
+
+def test_two_platforms_in_one_process_stay_independent():
+    sim = Simulator()
+    a = Gpu(sim, get_platform("mi210").gpu, gpu_id=0)
+    b = Gpu(sim, get_platform("h100").gpu, gpu_id=1)
+    # Interleave queries so any shared cache would cross-contaminate.
+    occ_a1 = a.occupancy(RES)
+    occ_b1 = b.occupancy(RES)
+    occ_a2 = a.occupancy(RES)
+    assert occ_a1 == occ_a2
+    assert occ_a1 != occ_b1
+    assert a.wg_duration(COST, occ_a1) != b.wg_duration(COST, occ_b1)
+    assert a.hbm.achieved_bandwidth(0.5) != b.hbm.achieved_bandwidth(0.5)

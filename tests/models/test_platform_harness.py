@@ -1,0 +1,35 @@
+"""Model workload builders forward the hardware platform to the harness."""
+
+from repro.models.configs import MoeLayerConfig, TransformerMlpConfig
+from repro.models.moe import MoeLayer
+from repro.models.transformer import TensorParallelMlp
+
+
+def test_transformer_decode_harness_forwards_platform():
+    mlp = TensorParallelMlp.create(TransformerMlpConfig(hidden=1024,
+                                                        tensor_parallel=4))
+    h = mlp.decode_harness(platform="h100")
+    assert h.platform.name == "h100"
+    assert h.world_size == 4
+    assert h.cluster.gpus[0].spec.name == "H100"
+    assert mlp.decode_harness().platform.name == "mi210"
+
+
+def test_transformer_decode_workload_runs_on_both_platforms():
+    from repro.fused.gemv_allreduce import FusedGemvAllReduce
+    mlp = TensorParallelMlp.create(TransformerMlpConfig(hidden=1024,
+                                                        tensor_parallel=4))
+    cfg = mlp.gemv_config(functional=False)
+    elapsed = {}
+    for plat in ("mi210", "h100"):
+        h = mlp.decode_harness(platform=plat)
+        elapsed[plat] = h.run(FusedGemvAllReduce(h, cfg)).elapsed
+    assert elapsed["mi210"] != elapsed["h100"]
+
+
+def test_moe_expert_harness_forwards_platform():
+    layer = MoeLayer.create(MoeLayerConfig(tokens=256, model_dim=256,
+                                           ffn_dim=512, num_experts=4))
+    h = layer.expert_harness(platform="mi300x")
+    assert h.platform.name == "mi300x"
+    assert h.world_size == layer.num_experts
