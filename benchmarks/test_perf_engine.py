@@ -37,6 +37,11 @@ N_TASKS = 100_000
 BEST_OF = 3
 #: Reduced Fig. 9 grid for the representative figure regeneration.
 FIG9_SMALL_GRID = ((8192, 8192), (16384, 16384), (32768, 16384))
+#: Scenarios evaluated per repetition in the analytic-throughput
+#: measurement (distinct parameter points, as a sweep would produce).
+N_ANALYTIC = 512
+#: The DES scenario the engine-speedup ratio is measured against.
+RATIO_SCENARIO = dict(m=8192, n_per_gpu=2048, world=4)
 
 
 def _engine_events_per_sec() -> float:
@@ -73,6 +78,45 @@ def _kernel_wgs_per_sec() -> float:
     return N_TASKS / wall
 
 
+def _analytic_scenarios_per_sec() -> float:
+    """Evaluate ``N_ANALYTIC`` distinct GEMV+AllReduce scenarios through
+    the closed-form backend (the second evaluation engine behind every
+    sweep); returns scenarios per wall-second."""
+    from repro.analytic import predict_gemv_allreduce
+
+    def run_grid():
+        for i in range(N_ANALYTIC):
+            predict_gemv_allreduce(world=4, m=8192 + 64 * (i % 128),
+                                   n_per_gpu=2048 + 16 * (i % 64))
+
+    _, wall = time_call(run_grid, repeats=BEST_OF)
+    return N_ANALYTIC / wall
+
+
+def _des_scenarios_per_sec() -> float:
+    """The same operator pair under the DES, for the engine-speedup ratio."""
+    from repro.experiments import run_scenario, scenario
+
+    spec = scenario("gemv_allreduce_pair", **RATIO_SCENARIO)
+    _, wall = time_call(lambda: run_scenario(spec), repeats=BEST_OF)
+    return 1.0 / wall
+
+
+def test_analytic_backend_throughput():
+    """The analytic engine must stay orders of magnitude over the DES.
+
+    The DSE contract (1,000+-scenario grids in seconds) needs roughly
+    1,000 scenarios/sec; the ratio documents how far out of budget the
+    equivalent DES grid is.
+    """
+    analytic = _analytic_scenarios_per_sec()
+    des = _des_scenarios_per_sec()
+    assert analytic > 500, (
+        f"analytic backend collapsed: {analytic:.0f} scenarios/s")
+    assert analytic / des > 50, (
+        f"analytic/DES speedup collapsed: {analytic / des:.0f}x")
+
+
 def test_engine_event_throughput():
     eps = _engine_events_per_sec()
     # Generous floor: even a slow CI box sustains far more than this.
@@ -94,6 +138,8 @@ def test_fastpath_speedup_and_report(monkeypatch):
 
     fig9, fig9_wall = time_call(
         lambda: fig9_gemv_allreduce(grid=FIG9_SMALL_GRID))
+    analytic = _analytic_scenarios_per_sec()
+    des = _des_scenarios_per_sec()
     payload = {
         # "platform" is the host OS string (write_bench_report);
         # "hw_platform" names the simulated hardware catalog entry.
@@ -102,6 +148,9 @@ def test_fastpath_speedup_and_report(monkeypatch):
         "kernel_wgs_per_sec_fastpath": round(fast),
         "kernel_wgs_per_sec_slowpath": round(slow),
         "fastpath_speedup": round(speedup, 1),
+        "analytic_scenarios_per_sec": round(analytic),
+        "des_scenarios_per_sec": round(des, 2),
+        "analytic_over_des_speedup": round(analytic / des),
         "fig9_reduced_grid_wall_sec": round(fig9_wall, 3),
         "fig9_reduced_grid_mean_normalized": round(fig9.mean_normalized, 4),
     }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Design-space exploration with the analytic backend.
+
+The discrete-event simulator answers roughly one scenario per second; the
+closed-form analytic backend answers tens of thousands.  That turns
+"which configuration should I run?" from a budgeting exercise into a
+single cheap sweep:
+
+1. **run a big grid analytically** — hundreds of (platform, batch,
+   tables, slice size, occupancy, topology) points in well under a
+   second;
+2. **validate a subsample against the DES** — re-run a handful of the
+   same scenarios under ``backend="sim"`` and check the relative error
+   (the full contract is enforced by ``python -m repro validate``);
+3. **print the Pareto frontier** — per platform, the configurations no
+   other config beats on both fused latency and fused-over-baseline
+   speedup.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.experiments import run_scenario, run_sweep
+from repro.experiments.figures import dse_fused_frontier_sweep
+
+#: A few hundred points: a custom slice of the registered
+#: ``dse_fused_frontier`` axes (the full grid is ~1,300 scenarios and
+#: barely slower — tune freely).
+SWEEP = dse_fused_frontier_sweep(
+    name="example-dse",
+    platforms=("mi210", "mi300x", "h100"),
+    batches=(512, 1024, 2048, 4096),
+    tables=(16, 64, 256),
+    slices=(16, 32, 64),
+    occupancies=(0.25, 0.5, 0.75),
+    topologies=((2, 1),),
+)
+
+#: How many grid points to spot-check against the simulator.
+VALIDATE_EVERY = 108
+
+
+def main():
+    import time
+
+    t0 = time.perf_counter()
+    run = run_sweep(SWEEP, store=None)
+    analytic_wall = time.perf_counter() - t0
+    fig = run.figure()
+    print(f"analytic grid: {len(SWEEP)} scenarios in {analytic_wall:.2f}s "
+          f"({len(SWEEP) / analytic_wall:,.0f} scenarios/s)")
+
+    # -- validate a subsample against the DES ---------------------------
+    print("\nDES spot-check (same scenarios, backend=sim):")
+    worst = 0.0
+    for outcome in run.outcomes[::VALIDATE_EVERY]:
+        t0 = time.perf_counter()
+        sim = run_scenario(outcome.spec.with_backend("sim"))
+        des_wall = time.perf_counter() - t0
+        ana = outcome.result
+        sim_norm = sim["fused_time"] / sim["baseline_time"]
+        ana_norm = ana["fused_time"] / ana["baseline_time"]
+        err = abs(ana_norm - sim_norm) / sim_norm
+        worst = max(worst, err)
+        print(f"  {outcome.spec.label:<34} sim {sim_norm:.3f} "
+              f"analytic {ana_norm:.3f}  err {100 * err:.2f}%  "
+              f"(DES cost: {des_wall:.2f}s/scenario)")
+    print(f"worst normalized-time error in subsample: {100 * worst:.2f}%")
+
+    # -- the frontier ---------------------------------------------------
+    print(f"\nPareto frontier ({fig.extra['n_frontier']} of "
+          f"{fig.extra['n_scenarios']} configurations; per platform, "
+          f"minimize latency / maximize speedup):")
+    for point in fig.extra["frontier"]:
+        print(f"  {point['label']:<34} {point['fused_us']:>10.1f} us  "
+              f"{point['speedup']:.2f}x")
+    print(f"\nbest speedup overall: {fig.extra['best_speedup']}")
+    print(f"globally undominated: {', '.join(fig.extra['global_frontier'])}")
+
+
+if __name__ == "__main__":
+    main()

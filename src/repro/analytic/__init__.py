@@ -1,0 +1,51 @@
+"""Analytic evaluation backend: closed-form twins of the DES metrics.
+
+The discrete-event simulator answers roughly one scenario per second; this
+package answers thousands per second by evaluating the same first-order
+physics — roofline WG timing with the HBM ramp/knee, alpha-beta(-gamma)
+link/NIC models, occupancy-scaled compute/communication overlap — in
+closed form, with no event loop.
+
+The backend deliberately *shares* the DES's pure cost models
+(:func:`repro.hw.gpu.occupancy_for`, :class:`repro.hw.memory.HbmModel`,
+the ``repro.ops`` WG cost functions, the :mod:`repro.astra` graphs): where
+the simulator is already analytic at heart, the two engines agree exactly;
+where event interleaving matters (persistent-kernel queues, link
+contention, flag waits) the backend substitutes explicit serial-fraction
+and drain-time terms.  ``python -m repro validate`` quantifies the
+residual error against an enforced accuracy budget
+(:mod:`repro.analytic.validate`).
+
+Calibration caveat: every platform inherits the HBM concurrency ramp and
+contention knee fitted once against the paper's Fig. 13 on the MI210 (see
+:mod:`repro.hw.specs`), so analytic predictions on other catalog entries
+are exactly as (un)calibrated as their DES counterparts.
+"""
+
+from .comm import CommModel
+from .device import DeviceModel, device_model
+from .explorer import dominates, pareto_frontier
+from .ops import (
+    predict_dlrm_scaleout,
+    predict_embedding_a2a,
+    predict_embedding_fused,
+    predict_embedding_grad_a2a,
+    predict_gemm_a2a,
+    predict_gemv_allreduce,
+    predict_wg_timeline,
+)
+
+__all__ = [
+    "CommModel",
+    "DeviceModel",
+    "device_model",
+    "dominates",
+    "pareto_frontier",
+    "predict_dlrm_scaleout",
+    "predict_embedding_a2a",
+    "predict_embedding_fused",
+    "predict_embedding_grad_a2a",
+    "predict_gemm_a2a",
+    "predict_gemv_allreduce",
+    "predict_wg_timeline",
+]

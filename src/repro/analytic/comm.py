@@ -1,0 +1,151 @@
+"""Alpha-beta(-gamma) communication models for the analytic backend.
+
+Closed-form twins of the DES transport stack:
+
+* **fabric puts** — one :class:`~repro.sim.FairShareLink` per directed GPU
+  pair; a single flow costs ``latency + bytes/bandwidth`` (alpha-beta), and
+  ``flows`` concurrent streams on one link divide the bandwidth evenly.
+* **RDMA puts** — the NIC TX engine serializes the per-message processing
+  overhead (the gamma term bounding message rate) while payload bandwidth
+  is charged once at the destination port, so drains are pipelined
+  cut-through exactly as :meth:`repro.hw.nic.Nic.rdma_put` models them.
+* **RCCL-like collectives** — structural mirrors of
+  :class:`repro.comm.collectives.CollectiveLibrary`'s timing-only variants
+  (launch, blit-kernel staging at :data:`BLIT_EFFICIENCY`, per-phase
+  barriers), which the DES itself evaluates in closed form per rank; for
+  single-flow-per-link patterns the two engines agree exactly.
+"""
+
+from __future__ import annotations
+
+from ..comm.collectives import BLIT_EFFICIENCY
+from ..comm.shmem import FLAG_BYTES, ShmemContext
+from ..hw.platform import PlatformLike, get_platform
+from .device import device_model
+
+__all__ = ["CommModel", "FLAG_BYTES"]
+
+
+class CommModel:
+    """Closed-form communication timing on one platform's cluster shape."""
+
+    def __init__(self, platform: PlatformLike = None, num_nodes: int = 1,
+                 gpus_per_node: int = 4, cpu_proxy: bool = False,
+                 blit_efficiency: float = BLIT_EFFICIENCY):
+        if num_nodes < 1 or gpus_per_node < 1:
+            raise ValueError("cluster shape counts must be >= 1")
+        self.platform = get_platform(platform)
+        self.device = device_model(self.platform)
+        self.link = self.platform.link
+        self.nic = self.platform.nic
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node
+        self.world = num_nodes * gpus_per_node
+        self.cpu_proxy = cpu_proxy
+        self.blit_efficiency = blit_efficiency
+
+    # -- GPU-initiated puts (fused-kernel transport) -------------------------
+    def _proxy_latency(self) -> float:
+        return ShmemContext.CPU_PROXY_LATENCY if self.cpu_proxy else 0.0
+
+    def fabric_put_time(self, nbytes: float, flows: int = 1) -> float:
+        """One zero-copy store stream over a directed fabric link."""
+        return self.link.latency + nbytes * max(flows, 1) / self.link.bandwidth
+
+    def rdma_put_time(self, nbytes: float) -> float:
+        """One GPU-initiated RDMA put, end to end (TX overhead + wire)."""
+        return (self._proxy_latency() + self.nic.message_overhead
+                + self.nic.latency + nbytes / self.nic.bandwidth)
+
+    def put_time(self, nbytes: float, remote_node: bool) -> float:
+        return (self.rdma_put_time(nbytes) if remote_node
+                else self.fabric_put_time(nbytes))
+
+    def drain_time(self, total_bytes: float, n_messages: int,
+                   remote_node: bool) -> float:
+        """Steady-state time to push a stream of puts through one channel.
+
+        Fabric links are pure bandwidth; the NIC is the max of its
+        bandwidth term and the per-message gamma term (TX serializes one
+        ``message_overhead`` per put; flag writes count as messages too).
+        """
+        if remote_node:
+            return max(total_bytes / self.nic.bandwidth,
+                       n_messages * self.nic.message_overhead)
+        return total_bytes / self.link.bandwidth
+
+    def signal_tail(self, nbytes: float, remote_node: bool) -> float:
+        """Latency from *issuing* the final put to its fenced flag landing:
+        the payload's wire time plus the chained flag write (the paper's
+        "PUT data, remote fence, PUT sliceRdy" idiom)."""
+        return (self.put_time(nbytes, remote_node)
+                + self.put_time(FLAG_BYTES, remote_node))
+
+    # -- RCCL-like collectives (baseline transport) --------------------------
+    def launch(self) -> float:
+        return self.device.spec.kernel_launch_overhead
+
+    def local_copy_time(self, nbytes: float) -> float:
+        """Blit-kernel local copy: read + write through HBM (full occ)."""
+        return 2.0 * nbytes / self.device.hbm_bandwidth(1.0)
+
+    def reduce_time(self, n_elems: int, n_sources: int,
+                    itemsize: int) -> float:
+        """Mirror of ``CollectiveLibrary._reduce_time``."""
+        if n_sources <= 1:
+            return 0.0
+        flops = float(n_elems) * (n_sources - 1)
+        read_bytes = float(n_elems) * itemsize * n_sources
+        flop_t = flops / self.device.spec.flop_rate("fp32")
+        mem_t = read_bytes / self.device.hbm_bandwidth(1.0)
+        return max(flop_t, mem_t)
+
+    def _blit_route_time(self, nbytes: float, remote_node: bool) -> float:
+        """One baseline-collective chunk: blit staging intra-node, RDMA
+        (no blit, no proxy — collectives are host-launched) inter-node."""
+        if remote_node:
+            return (self.nic.message_overhead + self.nic.latency
+                    + nbytes / self.nic.bandwidth)
+        return self.link.latency + (nbytes / self.blit_efficiency
+                                    / self.link.bandwidth)
+
+    def alltoall_time(self, chunk_bytes: float) -> float:
+        """Mirror of ``CollectiveLibrary.all_to_all_bytes`` (symmetric
+        ranks): launch, then the slowest of the local copy, the dedicated
+        intra-node links, and the incast-serialized NIC RX port."""
+        if chunk_bytes < 0:
+            raise ValueError("chunk_bytes must be >= 0")
+        if self.world == 1:
+            return self.launch() + self.local_copy_time(chunk_bytes)
+        longest = self.local_copy_time(chunk_bytes)
+        if self.gpus_per_node > 1:
+            longest = max(longest, self._blit_route_time(chunk_bytes, False))
+        remote_gpus = self.world - self.gpus_per_node
+        if remote_gpus:
+            # All of a node's GPUs share one NIC: the TX engine serializes
+            # the per-message overhead of every off-node chunk, and the
+            # destination's RX port serializes their payload bytes — a
+            # two-stage pipeline whose last completion is bounded by the
+            # slower stage plus one unit of the other.
+            n_msgs = self.gpus_per_node * remote_gpus
+            mo = self.nic.message_overhead
+            wire = chunk_bytes / self.nic.bandwidth
+            inter = self.nic.latency + max(n_msgs * mo + wire,
+                                           mo + n_msgs * wire)
+            longest = max(longest, inter)
+        return self.launch() + longest
+
+    def allreduce_direct_time(self, nbytes: float, n_elems: int,
+                              itemsize: int = 4) -> float:
+        """Mirror of ``all_reduce_bytes(algorithm="direct")``: launch,
+        reduce-scatter phase, local reduction, all-gather phase."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.world == 1:
+            return self.launch()
+        chunk = nbytes / self.world
+        chunk_elems = max(1, n_elems // self.world)
+        phase = max(self._blit_route_time(chunk, dst_gpu >= self.gpus_per_node)
+                    for dst_gpu in range(1, self.world))
+        return (self.launch() + 2 * phase
+                + self.reduce_time(chunk_elems, self.world, itemsize))

@@ -1,0 +1,122 @@
+"""Per-platform closed-form compute timing (no simulator, no event loop).
+
+:class:`DeviceModel` evaluates exactly the quantities
+:class:`repro.hw.gpu.Gpu` computes inside the DES — occupancy from the
+hardware allocation rules, roofline WG durations against the
+occupancy-dependent HBM model, bulk-kernel spans with the reduced-occupancy
+tail round, and the persistent kernel's grid-size balancing — as pure
+functions of the frozen :class:`~repro.hw.platform.Platform`.  Wherever the
+DES consumes one of these numbers directly (baseline kernels, collectives'
+reduce steps), the analytic backend therefore agrees to the last bit; the
+approximations live one level up, in :mod:`repro.analytic.ops`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from ..hw.gpu import KernelResources, OccupancyInfo, WgCost, occupancy_for
+from ..hw.memory import HbmModel
+from ..hw.platform import Platform, PlatformLike, get_platform
+
+__all__ = ["DeviceModel", "device_model"]
+
+#: Mirror of :data:`repro.kernels.kernel._BALANCE_ROUNDS` — task loops at
+#: most this many rounds long get a balanced persistent-kernel grid.
+_BALANCE_ROUNDS = 8
+
+
+class DeviceModel:
+    """Closed-form compute timing for one platform's GPU."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.spec = platform.gpu
+        self.hbm = HbmModel(platform.gpu)
+        self.base_res: KernelResources = platform.baseline_resources()
+        self.fused_res: KernelResources = platform.fused_resources()
+
+    # -- occupancy -----------------------------------------------------------
+    def occupancy(self, res: KernelResources) -> OccupancyInfo:
+        return occupancy_for(self.spec, res)
+
+    def persistent_occupancy(self, res: KernelResources, n_tasks: int,
+                             n_work: Optional[int] = None,
+                             occupancy_limit: Optional[float] = None
+                             ) -> OccupancyInfo:
+        """Mirror of :class:`~repro.kernels.kernel.PersistentKernel`'s grid
+        selection: explicit occupancy limit, or grid-size balancing for
+        short task loops (``n_work`` = work-bearing task count)."""
+        occ = self.occupancy(res)
+        if occupancy_limit is not None:
+            if not (0.0 < occupancy_limit <= 1.0):
+                raise ValueError(
+                    f"occupancy_limit must be in (0, 1], got {occupancy_limit}")
+            occ = occ.limited_to(
+                max(1, int(round(occ.resident_wgs * occupancy_limit))))
+            if n_tasks < occ.resident_wgs:
+                occ = occ.limited_to(n_tasks)
+        else:
+            n_work = n_work if n_work else n_tasks
+            rounds = max(1, -(-n_work // occ.resident_wgs))
+            if rounds <= _BALANCE_ROUNDS:
+                balanced = min(occ.resident_wgs, -(-n_work // rounds))
+                occ = occ.limited_to(balanced)
+        return occ
+
+    def n_slots(self, occ: OccupancyInfo, n_tasks: int) -> int:
+        return min(occ.resident_wgs, n_tasks)
+
+    # -- timing --------------------------------------------------------------
+    def wg_time(self, cost: WgCost, occ: OccupancyInfo) -> float:
+        """Roofline duration of one WG (mirror of :meth:`Gpu.wg_duration`)."""
+        resident = max(occ.resident_wgs, 1)
+        mem_time = 0.0
+        if cost.bytes > 0:
+            bw = self.hbm.achieved_bandwidth(occ.fraction,
+                                             access=cost.access) / resident
+            mem_time = cost.bytes / bw
+        flop_time = 0.0
+        if cost.flops > 0:
+            per_wg = self.spec.flop_rate(cost.dtype) / max(resident,
+                                                           self.spec.num_cus)
+            flop_time = cost.flops / per_wg
+        return max(mem_time, flop_time) + cost.fixed
+
+    def task_time(self, cost: WgCost, occ: OccupancyInfo,
+                  repeat: int = 1) -> float:
+        """One logical-WG task: roofline duration plus dispatch overhead."""
+        return repeat * (self.wg_time(cost, occ)
+                         + self.spec.wg_dispatch_overhead)
+
+    def bulk_kernel_time(self, n_wgs: int, cost: WgCost,
+                         res: KernelResources) -> float:
+        """Mirror of :func:`repro.kernels.kernel.bulk_kernel_time`."""
+        if n_wgs < 1:
+            raise ValueError("n_wgs must be >= 1")
+        occ = self.occupancy(res)
+        total = self.spec.kernel_launch_overhead
+        full_rounds, tail = divmod(n_wgs, occ.resident_wgs)
+        if full_rounds:
+            total += full_rounds * (self.wg_time(cost, occ)
+                                    + self.spec.wg_dispatch_overhead)
+        if tail:
+            tail_occ = occ.limited_to(tail)
+            total += (self.wg_time(cost, tail_occ)
+                      + self.spec.wg_dispatch_overhead)
+        return total
+
+    def hbm_bandwidth(self, occupancy: float = 1.0,
+                      access: str = "stream") -> float:
+        return self.hbm.achieved_bandwidth(occupancy, access=access)
+
+
+@lru_cache(maxsize=64)
+def _device_model(platform: Platform) -> DeviceModel:
+    return DeviceModel(platform)
+
+
+def device_model(platform: PlatformLike = None) -> DeviceModel:
+    """Memoized :class:`DeviceModel` for anything resolving to a platform."""
+    return _device_model(get_platform(platform))

@@ -1,0 +1,49 @@
+"""Design-space exploration helpers: Pareto frontiers over sweep results.
+
+The analytic backend makes grids of thousands of scenarios cheap; what a
+designer wants back is rarely the full grid but its *frontier* — the
+configurations not dominated on the axes they care about (e.g. minimize
+fused latency while maximizing fused-over-baseline speedup).  These
+helpers are pure functions over ``(point, objective-tuple)`` pairs so the
+``dse_*`` sweep assemblers and user code share one definition of
+dominance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["dominates", "pareto_frontier"]
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if objective vector ``a`` dominates ``b``.
+
+    Objectives are *minimized*: ``a`` dominates ``b`` when it is no worse
+    on every axis and strictly better on at least one.  Flip the sign of
+    any axis the caller wants maximized.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective lengths differ: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(items: Sequence[T],
+                    objectives: Callable[[T], Tuple[float, ...]]
+                    ) -> List[T]:
+    """Non-dominated subset of ``items`` under minimized ``objectives``.
+
+    Stable: frontier members keep their input order.  Duplicate objective
+    vectors are all kept (none strictly improves on the other), so
+    distinct configurations with identical predicted metrics stay visible.
+    """
+    objs = [tuple(objectives(it)) for it in items]
+    out: List[T] = []
+    for i, item in enumerate(items):
+        if not any(dominates(objs[j], objs[i]) for j in range(len(items))
+                   if j != i):
+            out.append(item)
+    return out

@@ -1,0 +1,465 @@
+"""Closed-form predictions of every DES scenario runner's metrics.
+
+One ``predict_*`` function per scenario runner in
+:mod:`repro.experiments.figures`, each returning the same result mapping
+shape the DES runner produces, so the two backends are interchangeable
+behind the experiment orchestrator.
+
+Model structure (per fused operator):
+
+* **Compute span** — the persistent kernel's task queue evaluated in
+  aggregate: total roofline task time (at the kernel's *derived* fused
+  occupancy, including the grid-balancing the runtime applies) divided by
+  the physical slot count, plus the per-hook API charges the issuing WGs
+  pay.
+* **Communication drain** — each channel (per-destination fabric link, or
+  the shared NIC) drains the operator's put stream at its alpha-beta(-
+  gamma) rate, starting when the first slice is computed; with
+  communication-aware scheduling the last remote put issues after the
+  *remote* share of the queue, with oblivious scheduling at the very end.
+* **Overlap** — the operator completes at
+  ``max(compute span, comm drain) + signal tail``: the paper's
+  occupancy-scaled compute/communication overlap in one expression.
+
+Baseline operators (bulk kernels + RCCL-like collectives) are evaluated
+through the same pure closed forms the DES consumes, so baseline times
+agree with the simulator essentially exactly; the approximation error
+lives in the fused-kernel queue/drain terms and is quantified by
+``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..fused.embedding_alltoall import ITEMSIZE, EmbeddingA2AConfig
+from ..fused.embedding_grad_alltoall import _scatter_cost
+from ..fused.gemm_alltoall import GemmA2AConfig
+from ..fused.gemv_allreduce import GemvAllReduceConfig
+from ..hw.gpu import WgCost
+from ..hw.platform import PlatformLike, get_platform
+from ..ops.embedding import embedding_wg_cost
+from ..ops.gemm import gemm_wg_cost
+from ..ops.gemv import gemv_wg_cost
+from .comm import FLAG_BYTES, CommModel
+from .device import DeviceModel, device_model
+
+__all__ = [
+    "predict_embedding_a2a",
+    "predict_embedding_fused",
+    "predict_embedding_grad_a2a",
+    "predict_gemv_allreduce",
+    "predict_gemm_a2a",
+    "predict_dlrm_scaleout",
+    "predict_wg_timeline",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared fused-kernel machinery
+# ---------------------------------------------------------------------------
+
+def _tasks_per_slice(d: DeviceModel, cfg: EmbeddingA2AConfig,
+                     world: int) -> int:
+    """Mirror of ``FusedEmbeddingAllToAll._tasks_per_slice`` (auto split)."""
+    if cfg.tasks_per_slice:
+        return cfg.tasks_per_slice
+    n_slices = world * cfg.tables_per_gpu * cfg.slices_per_stripe(world)
+    occ = d.occupancy(d.fused_res)
+    slots = min(occ.resident_wgs, n_slices)
+    target = math.ceil(8 * slots / n_slices)
+    for div in (1, 2, 4, 8, 16, 32):
+        if div >= target and cfg.slice_vectors % div == 0:
+            return div
+    return cfg.slice_vectors
+
+
+def _occupancy_limit(d: DeviceModel, frac: Optional[float]) -> Optional[float]:
+    """Mirror of ``_kernel_occupancy_limit``: the Fig. 13 knob converts a
+    fraction of *baseline* occupancy into the fused kernel's own limit."""
+    if frac is None:
+        return None
+    base = d.occupancy(d.base_res).resident_wgs
+    fused = d.occupancy(d.fused_res).resident_wgs
+    limit = frac * base / fused
+    if limit > 1.0 + 1e-9:
+        raise ValueError(
+            f"occupancy {frac} of baseline exceeds the fused kernel's "
+            f"maximum ({fused / base:.3f} of baseline)")
+    return min(limit, 1.0)
+
+
+def _overlap_finish(compute_end: float, first_issue: float,
+                    last_issue: float, drain: float, tail: float) -> float:
+    """Completion time of an overlapped put stream: the channel drains from
+    the first computed slice, cannot finish before the last put is issued,
+    and the final payload's fenced flag still has to land."""
+    return max(compute_end, max(last_issue, first_issue + drain) + tail)
+
+
+def _queue_span(total_dur: float, n_tasks: int, slots: int) -> float:
+    """Makespan of ``n_tasks`` greedily pulled from a shared queue.
+
+    ``total_dur / slots`` is the work-conserving lower bound; the last
+    round is quantized to whole tasks (the slot executing the final task
+    of a non-divisible queue finishes one mean task-duration late), which
+    is exact for uniform tasks and the round-robin fast path."""
+    if n_tasks < 1:
+        return 0.0
+    avg = total_dur / n_tasks
+    return total_dur / slots + avg * (math.ceil(n_tasks / slots)
+                                      - n_tasks / slots)
+
+
+# ---------------------------------------------------------------------------
+# Embedding + All-to-All (forward)
+# ---------------------------------------------------------------------------
+
+def _embedding_fused_time(num_nodes: int, gpus_per_node: int,
+                          cfg: EmbeddingA2AConfig,
+                          platform: PlatformLike = None,
+                          cpu_proxy: bool = False) -> Dict[str, float]:
+    """Fused embedding+A2A span plus the put-issue window (for Fig. 11)."""
+    world = num_nodes * gpus_per_node
+    cfg.validate(world)
+    plat = get_platform(platform)
+    d = device_model(plat)
+    cm = CommModel(plat, num_nodes, gpus_per_node, cpu_proxy=cpu_proxy)
+    spec = d.spec
+
+    T = cfg.tables_per_gpu
+    n_s = cfg.slices_per_stripe(world)
+    tps = _tasks_per_slice(d, cfg, world)
+    repeat = cfg.slice_vectors // tps
+    per_dest_tasks = T * n_s * tps
+    n_tasks = world * per_dest_tasks
+
+    occ = d.persistent_occupancy(
+        d.fused_res, n_tasks,
+        occupancy_limit=_occupancy_limit(d, cfg.occupancy_of_baseline))
+    slots = d.n_slots(occ, n_tasks)
+
+    base_cost = embedding_wg_cost(cfg.pooling, cfg.dim, ITEMSIZE).plus(
+        fixed=spec.flag_op_latency)
+    zc_cost = base_cost.with_bytes(base_cost.bytes - cfg.dim * ITEMSIZE)
+    dur_base = d.task_time(base_cost, occ, repeat)
+    dur_zc = d.task_time(zc_cost, occ, repeat)
+    # Destination classes as seen from any rank (the topology is symmetric).
+    same_node_remote = gpus_per_node - 1
+    other_node = world - gpus_per_node
+    dur_same = dur_zc if cfg.zero_copy else dur_base
+
+    remote_compute = per_dest_tasks * (same_node_remote * dur_same
+                                       + other_node * dur_base)
+    hook_charge = (world - 1) * T * n_s * spec.shmem_api_latency
+    total = per_dest_tasks * dur_base + remote_compute + hook_charge
+
+    launch = spec.kernel_launch_overhead
+    compute_end = launch + _queue_span(total, n_tasks, slots)
+    # First remote slice: its tps pieces run in parallel across slots.
+    first_task = dur_same if same_node_remote else dur_base
+    first_issue = launch + first_task * math.ceil(tps / slots)
+    if cfg.scheduler == "comm_aware":
+        last_issue = launch + (remote_compute + hook_charge) / slots
+    else:
+        last_issue = compute_end
+
+    slice_bytes = cfg.slice_bytes()
+    msgs = T * n_s                       # slices per remote destination
+    finish = compute_end
+    if same_node_remote:
+        drain = cm.drain_time(msgs * (slice_bytes + FLAG_BYTES), 2 * msgs,
+                              remote_node=False)
+        finish = max(finish, _overlap_finish(
+            compute_end, first_issue, last_issue, drain,
+            cm.signal_tail(slice_bytes, remote_node=False)))
+    if other_node:
+        drain = cm.drain_time(other_node * msgs * (slice_bytes + FLAG_BYTES),
+                              2 * other_node * msgs, remote_node=True)
+        finish = max(finish, _overlap_finish(
+            compute_end, first_issue, last_issue, drain,
+            cm.signal_tail(slice_bytes, remote_node=True)))
+    return {"elapsed": finish, "first_issue": first_issue,
+            "last_issue": last_issue, "launch": launch,
+            "puts_per_remote_dest": msgs}
+
+
+def _embedding_baseline_time(num_nodes: int, gpus_per_node: int,
+                             cfg: EmbeddingA2AConfig,
+                             platform: PlatformLike = None) -> float:
+    """Per-table bulk pooling kernels, then the RCCL-like All-to-All."""
+    world = num_nodes * gpus_per_node
+    cfg.validate(world)
+    plat = get_platform(platform)
+    d = device_model(plat)
+    cm = CommModel(plat, num_nodes, gpus_per_node)
+    cost = embedding_wg_cost(cfg.pooling, cfg.dim, ITEMSIZE)
+    compute = cfg.tables_per_gpu * d.bulk_kernel_time(
+        cfg.global_batch, cost, d.base_res)
+    chunk = float(cfg.local_batch(world) * cfg.tables_per_gpu
+                  * cfg.dim * ITEMSIZE)
+    return compute + cm.alltoall_time(chunk)
+
+
+def predict_embedding_a2a(num_nodes: int, gpus_per_node: int,
+                          platform: PlatformLike = None,
+                          baseline: Optional[Dict[str, Any]] = None,
+                          **cfg_fields: Any) -> Dict[str, float]:
+    """Analytic twin of the ``embedding_a2a_pair`` runner."""
+    cfg = EmbeddingA2AConfig(functional=False, **cfg_fields)
+    base_cfg = (cfg if baseline is None
+                else EmbeddingA2AConfig(functional=False, **baseline))
+    fused = _embedding_fused_time(num_nodes, gpus_per_node, cfg,
+                                  platform=platform)
+    return {
+        "fused_time": fused["elapsed"],
+        "baseline_time": _embedding_baseline_time(
+            num_nodes, gpus_per_node, base_cfg, platform=platform),
+    }
+
+
+def predict_embedding_fused(num_nodes: int = 2, gpus_per_node: int = 1,
+                            cpu_proxy: bool = False,
+                            platform: PlatformLike = None,
+                            **cfg_fields: Any) -> Dict[str, Any]:
+    """Analytic twin of the ``embedding_fused`` runner (Figs. 13/14 and
+    the slice/proxy ablations).  Rank timelines are symmetric in closed
+    form, so every rank reports the same end time (zero predicted skew)."""
+    cfg = EmbeddingA2AConfig(functional=False, **cfg_fields)
+    fused = _embedding_fused_time(num_nodes, gpus_per_node, cfg,
+                                  platform=platform, cpu_proxy=cpu_proxy)
+    world = num_nodes * gpus_per_node
+    return {
+        "elapsed": fused["elapsed"],
+        "rank_end_times": {str(r): fused["elapsed"] for r in range(world)},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Embedding gradient All-to-All (backward)
+# ---------------------------------------------------------------------------
+
+def predict_embedding_grad_a2a(num_nodes: int = 2, gpus_per_node: int = 1,
+                               platform: PlatformLike = None,
+                               **cfg_fields: Any) -> Dict[str, float]:
+    """Analytic twin of the ``embedding_grad_pair`` runner."""
+    cfg = EmbeddingA2AConfig(functional=False, **cfg_fields)
+    world = num_nodes * gpus_per_node
+    cfg.validate(world)
+    plat = get_platform(platform)
+    d = device_model(plat)
+    cm = CommModel(plat, num_nodes, gpus_per_node)
+    spec = d.spec
+
+    T = cfg.tables_per_gpu
+    n_s = cfg.slices_per_stripe(world)
+    n_send = world * T * n_s
+    slice_bytes = cfg.slice_bytes()
+
+    occ = d.persistent_occupancy(d.fused_res, 2 * n_send, n_work=n_send)
+    slots = d.n_slots(occ, 2 * n_send)
+    send_cost = WgCost(bytes=slice_bytes, dtype="fp32",
+                       fixed=spec.flag_op_latency)
+    send_dur = d.task_time(send_cost, occ)
+    n_remote = (world - 1) * T * n_s
+    send_total = n_send * send_dur + n_remote * spec.shmem_api_latency
+
+    apply_dur = d.wg_time(_scatter_cost(cfg, cfg.slice_vectors), occ)
+    apply_total = n_send * (spec.wg_dispatch_overhead + apply_dur)
+
+    launch = spec.kernel_launch_overhead
+    send_end = launch + _queue_span(send_total, n_send, slots)
+    # Remote sends go first (comm-aware); their payloads drain through the
+    # NIC/fabric while sends and local applies proceed, and the receiver's
+    # final apply cannot run before the last slice's fenced flag lands.
+    first_issue = launch + send_dur
+    last_issue = launch + ((n_remote * send_dur
+                            + n_remote * spec.shmem_api_latency) / slots)
+    remote_dst = num_nodes > 1      # 2-node shape: the peer is off-node
+    per_channel = n_remote // max(world - 1, 1)
+    drain = cm.drain_time(per_channel * (slice_bytes + FLAG_BYTES),
+                          2 * per_channel, remote_node=remote_dst)
+    arrival = max(last_issue, first_issue + drain) + cm.signal_tail(
+        slice_bytes, remote_node=remote_dst)
+    # Applies sit at the back of the shared queue, so the apply phase pays
+    # its own last-round quantization on top of the send phase.
+    finish = max(send_end + _queue_span(apply_total, n_send, slots),
+                 arrival + spec.wg_dispatch_overhead + apply_dur)
+
+    # Baseline: All-to-All kernel, then a bulk scatter-add kernel.
+    chunk = float(cfg.local_batch(world) * T * cfg.dim * ITEMSIZE)
+    baseline = (cm.alltoall_time(chunk)
+                + d.bulk_kernel_time(cfg.global_batch * T,
+                                     _scatter_cost(cfg, 1), d.base_res))
+    return {"fused_time": finish, "baseline_time": baseline}
+
+
+# ---------------------------------------------------------------------------
+# GEMV + AllReduce (scale-up)
+# ---------------------------------------------------------------------------
+
+def predict_gemv_allreduce(world: int = 4, platform: PlatformLike = None,
+                           **cfg_fields: Any) -> Dict[str, float]:
+    """Analytic twin of the ``gemv_allreduce_pair`` runner."""
+    cfg = GemvAllReduceConfig(functional=False, **cfg_fields)
+    cfg.validate(world)
+    plat = get_platform(platform)
+    d = device_model(plat)
+    cm = CommModel(plat, num_nodes=1, gpus_per_node=world)
+    spec = d.spec
+
+    chunk = cfg.chunk_rows(world)
+    tiles_per_owner = chunk // cfg.tile_rows
+    n_a = world * tiles_per_owner
+    n_b = tiles_per_owner
+    tile_bytes = cfg.tile_bytes()
+
+    occ = d.persistent_occupancy(d.fused_res, n_a + n_b, n_work=n_a)
+    slots = d.n_slots(occ, n_a + n_b)
+    base_cost = gemv_wg_cost(cfg.tile_rows, cfg.n_per_gpu, cfg.itemsize)
+    base_cost = WgCost(base_cost.flops, base_cost.bytes, cfg.flop_dtype,
+                       spec.flag_op_latency, base_cost.access)
+    zc_cost = base_cost.with_bytes(base_cost.bytes
+                                   - cfg.tile_rows * cfg.itemsize)
+    t_a = _queue_span(
+        tiles_per_owner * (d.task_time(base_cost, occ)
+                           + (world - 1) * d.task_time(zc_cost, occ)),
+        n_a, slots)
+    launch = spec.kernel_launch_overhead
+    # Every owner's partialRdy: the last streamed tile plus its chained
+    # fenced flag (put issued behind an all-of over the tile transfers).
+    partial_ready = launch + t_a + cm.signal_tail(tile_bytes,
+                                                  remote_node=False)
+
+    reduce_cost = WgCost(flops=float((world - 1) * cfg.tile_rows),
+                         bytes=float((world + 1) * cfg.tile_rows
+                                     * cfg.itemsize),
+                         dtype="fp32")
+    reduce_dur = d.wg_time(reduce_cost, occ)
+    rounds_b = math.ceil(n_b / slots)
+    t_b = rounds_b * (spec.wg_dispatch_overhead + reduce_dur)
+    # All-gather phase: each owner streams its reduced chunk to every peer
+    # over dedicated links, finishing with a fenced finalRdy flag.
+    bcast_drain = chunk * cfg.itemsize / cm.link.bandwidth
+    fused = (partial_ready + max(t_b, bcast_drain)
+             + cm.signal_tail(tile_bytes, remote_node=False))
+
+    # Baseline: bulk GEMV kernel, then RCCL-like direct AllReduce.
+    bulk_cost = gemv_wg_cost(cfg.tile_rows, cfg.n_per_gpu, cfg.itemsize)
+    bulk_cost = WgCost(bulk_cost.flops, bulk_cost.bytes, cfg.flop_dtype, 0.0)
+    baseline = (d.bulk_kernel_time(cfg.m // cfg.tile_rows, bulk_cost,
+                                   d.base_res)
+                + cm.allreduce_direct_time(float(cfg.m * cfg.itemsize),
+                                           cfg.m, itemsize=cfg.itemsize))
+    return {"fused_time": fused, "baseline_time": baseline}
+
+
+# ---------------------------------------------------------------------------
+# GEMM + All-to-All (MoE expert)
+# ---------------------------------------------------------------------------
+
+def predict_gemm_a2a(world: int = 4, platform: PlatformLike = None,
+                     **cfg_fields: Any) -> Dict[str, float]:
+    """Analytic twin of the ``gemm_a2a_pair`` runner."""
+    cfg = GemmA2AConfig(functional=False, **cfg_fields)
+    cfg.validate(world)
+    plat = get_platform(platform)
+    d = device_model(plat)
+    cm = CommModel(plat, num_nodes=1, gpus_per_node=world)
+    spec = d.spec
+
+    grid_m = cfg.tokens // cfg.block_m
+    grid_n = cfg.ffn_dim // cfg.block_n
+    n_tasks = grid_m * grid_n
+    tiles_per_dest = n_tasks // world
+    tile_wire = cfg.tile_wire_bytes()
+
+    occ = d.persistent_occupancy(d.fused_res, n_tasks)
+    slots = d.n_slots(occ, n_tasks)
+    base_cost = gemm_wg_cost(cfg.block_m, cfg.block_n, cfg.model_dim,
+                             itemsize=cfg.itemsize,
+                             dtype=cfg.flop_dtype).plus(
+        fixed=spec.flag_op_latency)
+    zc_cost = base_cost.with_bytes(base_cost.bytes - tile_wire)
+    dur_base = d.task_time(base_cost, occ)
+    dur_zc = d.task_time(zc_cost, occ)
+    # Every tile's hook issues a put (self-puts are free but still charge
+    # the API latency to the issuing WG).
+    remote_compute = ((world - 1) * tiles_per_dest
+                      * (dur_zc + spec.shmem_api_latency))
+    total = (tiles_per_dest * (dur_base + spec.shmem_api_latency)
+             + remote_compute)
+
+    launch = spec.kernel_launch_overhead
+    compute_end = launch + _queue_span(total, n_tasks, slots)
+    first_issue = launch + dur_zc
+    last_issue = launch + remote_compute / slots  # comm-aware: remote first
+    if cfg.scheduler != "comm_aware":
+        last_issue = compute_end
+    drain = cm.drain_time(tiles_per_dest * (tile_wire + FLAG_BYTES),
+                          2 * tiles_per_dest, remote_node=False)
+    fused = _overlap_finish(compute_end, first_issue, last_issue, drain,
+                            cm.signal_tail(tile_wire, remote_node=False))
+
+    bulk_cost = gemm_wg_cost(cfg.block_m, cfg.block_n, cfg.model_dim,
+                             itemsize=cfg.itemsize, dtype=cfg.flop_dtype)
+    tps = cfg.tokens_per_src(world)
+    chunk = float(tps * cfg.ffn_dim * cfg.itemsize)
+    baseline = (d.bulk_kernel_time(n_tasks, bulk_cost, d.base_res)
+                + cm.alltoall_time(chunk))
+    return {"fused_time": fused, "baseline_time": baseline}
+
+
+# ---------------------------------------------------------------------------
+# DLRM scale-out and the Fig. 11 timeline
+# ---------------------------------------------------------------------------
+
+def predict_dlrm_scaleout(num_nodes: int,
+                          platform: PlatformLike = None) -> Dict[str, float]:
+    """Scale-out DLRM iteration — **shared** with the DES backend.
+
+    The Fig. 15 pipeline (:mod:`repro.astra`) is already closed-form: per-
+    kernel durations from the same roofline model plus list-scheduled
+    execution graphs, no event loop involved.  Both backends therefore
+    call the same code and agree exactly.
+    """
+    from ..astra import run_dlrm_scaleout
+    r = run_dlrm_scaleout(num_nodes, platform=platform)
+    return {
+        "fused_time": r.fused_time,
+        "baseline_time": r.baseline_time,
+        "reduction_pct": r.reduction_pct,
+        "exposed_a2a_fraction": r.exposed_a2a_fraction(),
+    }
+
+
+def predict_wg_timeline(batch: int = 512, tables: int = 32,
+                        wgs_per_slice: int = 16, timeline_width: int = 100,
+                        platform: PlatformLike = None) -> Dict[str, Any]:
+    """Analytic twin of the ``wg_timeline`` runner (Fig. 11).
+
+    Geometry (put count) is exact; kernel span and the put-issue window
+    come from the closed-form queue model.  The per-WG timeline rendering
+    requires the DES trace and is replaced by a pointer to it.
+    """
+    cfg = EmbeddingA2AConfig(global_batch=batch, tables_per_gpu=tables,
+                             functional=False, slice_vectors=wgs_per_slice,
+                             tasks_per_slice=wgs_per_slice)
+    fused = _embedding_fused_time(2, 1, cfg, platform=platform)
+    kspan = fused["elapsed"]
+    first = fused["first_issue"]
+    last = fused["last_issue"]
+    return {
+        "kernel_time": f"{kspan * 1e3:.3f} ms",
+        "puts_issued_node0": fused["puts_per_remote_dest"],
+        "first_put_at": f"{100 * first / kspan:.1f}% of kernel",
+        "last_put_at": f"{100 * last / kspan:.1f}% of kernel",
+        "elapsed": f"{kspan * 1e3:.3f} ms",
+        "timeline": "\n(per-WG timeline requires the DES trace; run this "
+                    "sweep under backend=sim to render it)",
+        "_kernel_time_s": kspan,
+        "_first_put_frac": first / kspan,
+        "_last_put_frac": last / kspan,
+        "_elapsed_s": kspan,
+    }

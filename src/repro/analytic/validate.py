@@ -1,0 +1,238 @@
+"""Fidelity subsystem: analytic-vs-DES validation with an accuracy budget.
+
+``python -m repro validate`` runs matched scenario grids under both
+evaluation engines and reports per-metric relative error against the
+declared budget below.  The contract has two tiers:
+
+* **Workload geometry is exact.**  Matched sim/analytic scenarios must
+  have identical labels and identical parameters (minus the ``backend``
+  axis), and purely combinatorial metrics (e.g. Fig. 11's put count) must
+  agree exactly — the two engines must be evaluating the *same* physics,
+  not merely similar numbers.
+* **Headline timings fit the budget.**  Per-row normalized execution
+  times (the paper's y-axis) and figure means must sit within
+  :data:`ACCURACY_BUDGET` of the DES.  Closed-form-shared paths (the
+  Fig. 15 scale-out pipeline) are held to exact agreement.
+
+Validation grids are reduced versions of the paper sweeps, chosen so a
+cold run costs seconds of DES time; scenario records share content keys
+with the full figure sweeps, so a warmed cache makes ``validate``
+near-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.execution import run_sweep
+from ..experiments.specs import SweepSpec, sweep_with_backend
+
+__all__ = ["ACCURACY_BUDGET", "ValidationMetric", "ValidationReport",
+           "validation_cases", "run_validation"]
+
+#: Declared per-case relative-error budget for timing metrics.  Exact-tier
+#: cases (shared closed forms) carry a float-noise epsilon instead of a
+#: modelling allowance.
+ACCURACY_BUDGET: Dict[str, float] = {
+    "fig8": 0.10,
+    "fig9": 0.10,
+    "fig10": 0.10,
+    "fig11": 0.10,
+    "fig12": 0.10,
+    "fig15": 1e-12,
+    "ext-backward": 0.10,
+}
+
+#: Reduced validation grids (small/large corners of each paper grid).
+_FIG8_GRID = ((512, 64), (2048, 256))
+_FIG9_GRID = ((8192, 8192), (32768, 16384), (65536, 8192))
+_FIG10_GRID = ((2048, 4096, 8192), (8192, 4096, 14336))
+_FIG12_GRID = ((256, 64), (1024, 256), (4096, 64))
+_EXT_GRID = ((256, 64), (1024, 256))
+_FIG15_NODES = (16, 128)
+
+
+def validation_cases() -> List[Tuple[str, SweepSpec]]:
+    """The matched validation grids, as (case name, DES sweep) pairs.
+
+    The analytic twin of each sweep is derived with
+    :func:`~repro.experiments.specs.sweep_with_backend`, so the grids are
+    structurally identical by construction.
+    """
+    from ..experiments import figures as f
+    return [
+        ("fig8", f.fig8_sweep(grid=_FIG8_GRID, name="validate-fig8")),
+        ("fig9", f.fig9_sweep(grid=_FIG9_GRID, name="validate-fig9")),
+        ("fig10", f.fig10_sweep(grid=_FIG10_GRID, name="validate-fig10")),
+        ("fig11", f.fig11_sweep(name="validate-fig11")),
+        ("fig12", f.fig12_sweep(grid=_FIG12_GRID, name="validate-fig12")),
+        ("fig15", f.fig15_sweep(node_counts=_FIG15_NODES,
+                                name="validate-fig15")),
+        ("ext-backward", f.ext_embedding_backward_sweep(
+            grid=_EXT_GRID, name="validate-ext-backward")),
+    ]
+
+
+def _rel_err(sim: float, analytic: float) -> float:
+    if sim == 0:
+        return 0.0 if analytic == 0 else float("inf")
+    return abs(analytic - sim) / abs(sim)
+
+
+@dataclass(frozen=True)
+class ValidationMetric:
+    """One compared quantity."""
+
+    case: str
+    metric: str
+    sim: float
+    analytic: float
+    budget: float
+
+    @property
+    def rel_err(self) -> float:
+        return _rel_err(self.sim, self.analytic)
+
+    @property
+    def ok(self) -> bool:
+        return self.rel_err <= self.budget
+
+    def __str__(self) -> str:
+        flag = "ok" if self.ok else "FAIL"
+        return (f"{self.case:<14} {self.metric:<34} "
+                f"sim {self.sim:<12.6g} analytic {self.analytic:<12.6g} "
+                f"err {100 * self.rel_err:6.2f}% "
+                f"(budget {100 * self.budget:g}%)  {flag}")
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one full validation run."""
+
+    metrics: List[ValidationMetric] = field(default_factory=list)
+    geometry_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.geometry_failures and all(m.ok for m in self.metrics)
+
+    @property
+    def worst(self) -> Optional[ValidationMetric]:
+        return max(self.metrics, key=lambda m: m.rel_err / max(m.budget, 1e-30),
+                   default=None)
+
+    def render(self) -> str:
+        lines = ["== analytic-vs-DES validation =="]
+        lines += [str(m) for m in self.metrics]
+        lines += [f"GEOMETRY MISMATCH: {g}" for g in self.geometry_failures]
+        n_bad = sum(not m.ok for m in self.metrics)
+        verdict = ("all metrics within budget" if self.ok else
+                   f"{n_bad + len(self.geometry_failures)} metric(s) over "
+                   f"budget")
+        lines.append(f"-- {len(self.metrics)} metrics, {verdict} --")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "schema": "repro.analytic.validation/v1",
+            "ok": self.ok,
+            "geometry_failures": list(self.geometry_failures),
+            "metrics": [
+                {"case": m.case, "metric": m.metric, "sim": m.sim,
+                 "analytic": m.analytic, "rel_err": m.rel_err,
+                 "budget": m.budget, "ok": m.ok}
+                for m in self.metrics
+            ],
+        }
+
+
+def _check_geometry(case: str, sim_sweep: SweepSpec, ana_sweep: SweepSpec,
+                    report: ValidationReport) -> None:
+    """Exact-tier check: the two engines saw the same workloads."""
+    for s, a in zip(sim_sweep.scenarios, ana_sweep.scenarios):
+        if s.label != a.label:
+            report.geometry_failures.append(
+                f"{case}: label {s.label!r} != {a.label!r}")
+            continue
+        sp, ap = s.params, a.params
+        sp.pop("backend", None)
+        ap.pop("backend", None)
+        if sp != ap:
+            report.geometry_failures.append(
+                f"{case}: {s.label}: workload params differ")
+
+
+def _pair_metrics(case: str, budget: float, sim_run, ana_run,
+                  report: ValidationReport) -> None:
+    """Timing tier for fused/baseline pair sweeps: per-row normalized time
+    (the paper's y-axis) plus the figure mean."""
+    sim_fig, ana_fig = sim_run.figure(), ana_run.figure()
+    for s_row, a_row in zip(sim_fig.rows, ana_fig.rows):
+        report.metrics.append(ValidationMetric(
+            case, f"normalized[{s_row.label}]",
+            s_row.normalized, a_row.normalized, budget))
+    report.metrics.append(ValidationMetric(
+        case, "mean_normalized", sim_fig.mean_normalized,
+        ana_fig.mean_normalized, budget))
+
+
+def _fig11_metrics(case: str, budget: float, sim_run, ana_run,
+                   report: ValidationReport) -> None:
+    sim_r = sim_run.outcomes[0].result
+    ana_r = ana_run.outcomes[0].result
+    report.metrics.append(ValidationMetric(
+        case, "puts_issued_node0", float(sim_r["puts_issued_node0"]),
+        float(ana_r["puts_issued_node0"]), 0.0))
+    for key in ("_elapsed_s", "_kernel_time_s", "_last_put_frac"):
+        report.metrics.append(ValidationMetric(
+            case, key, sim_r[key], ana_r[key], budget))
+
+
+def _fig15_metrics(case: str, budget: float, sim_run, ana_run,
+                   report: ValidationReport) -> None:
+    """Shared-closed-form tier: per-scenario times must agree exactly."""
+    for s_out, a_out in zip(sim_run.outcomes, ana_run.outcomes):
+        for key in ("fused_time", "baseline_time"):
+            report.metrics.append(ValidationMetric(
+                case, f"{key}[{s_out.spec.label}]",
+                s_out.result[key], a_out.result[key], budget))
+
+
+_CASE_METRICS: Dict[str, Callable] = {
+    "fig11": _fig11_metrics,
+    "fig15": _fig15_metrics,
+}
+
+
+def run_validation(store=None, workers: int = 1,
+                   cases: Optional[Sequence[str]] = None,
+                   progress=None) -> ValidationReport:
+    """Run the matched grids under both engines and compare.
+
+    ``cases`` restricts to a subset of case names (default: all).
+    ``store``/``workers``/``progress`` are forwarded to
+    :func:`~repro.experiments.execution.run_sweep`; validation scenarios
+    share content keys with the paper sweeps, so a warm cache is honored.
+    """
+    report = ValidationReport()
+    all_cases = validation_cases()
+    if cases is not None:
+        unknown = set(cases) - {case for case, _sweep in all_cases}
+        if unknown:
+            raise KeyError(
+                f"unknown validation case(s) {sorted(unknown)}; "
+                f"available: {sorted(c for c, _s in all_cases)}")
+    for case, sim_sweep in all_cases:
+        if cases is not None and case not in cases:
+            continue
+        budget = ACCURACY_BUDGET[case]
+        ana_sweep = sweep_with_backend(sim_sweep, "analytic")
+        _check_geometry(case, sim_sweep, ana_sweep, report)
+        sim_run = run_sweep(sim_sweep, store=store, workers=workers,
+                            progress=progress)
+        ana_run = run_sweep(ana_sweep, store=store, workers=workers,
+                            progress=progress)
+        _CASE_METRICS.get(case, _pair_metrics)(
+            case, budget, sim_run, ana_run, report)
+    return report

@@ -1,4 +1,9 @@
-"""Scale-out DLRM training simulation runner (paper Fig. 15)."""
+"""Scale-out DLRM training runner (paper Fig. 15).
+
+Fully closed-form — roofline kernel times plus list-scheduled execution
+graphs, no event loop — so both evaluation backends (the DES experiments
+and :mod:`repro.analytic`) share this code and agree exactly.
+"""
 
 from __future__ import annotations
 

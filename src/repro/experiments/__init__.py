@@ -12,11 +12,18 @@ The subsystem has four layers:
   scenario is ever simulated twice, plus diffable sweep reports and a
   baseline-comparison API (:func:`diff_reports`);
 * **cli** — ``python -m repro`` with ``list`` / ``run`` / ``report`` /
-  ``diff`` subcommands.
+  ``diff`` / ``validate`` / ``cache stats`` subcommands.
 
-All of the paper's figures/tables and the ablations are registered as
-sweeps (see :mod:`repro.experiments.figures`); :func:`regenerate` is the
-one-call bridge used by the benchmark suite.
+Every scenario runs under either of two engines — the discrete-event
+simulator (default) or the closed-form analytic backend
+(:mod:`repro.analytic`), selected per scenario by the ``backend``
+parameter (hashed into the store key; absent for the default path, so
+pre-existing records stay addressable).
+
+All of the paper's figures/tables, the ablations, and the analytic
+design-space grids are registered as sweeps (see
+:mod:`repro.experiments.figures`); :func:`regenerate` is the one-call
+bridge used by the benchmark suite.
 """
 
 from __future__ import annotations
@@ -48,18 +55,24 @@ from .execution import (
     run_sweep,
 )
 from .specs import (
+    BACKENDS,
+    DEFAULT_BACKEND,
     SCHEMA_VERSION,
     ScenarioSpec,
     SweepSpec,
     grid_params,
     scenario,
+    sweep_with_backend,
     zip_params,
 )
 from .store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = [
     "SCHEMA_VERSION",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
+    "sweep_with_backend",
     "ScenarioSpec",
     "SweepSpec",
     "ScenarioOutcome",

@@ -2,21 +2,27 @@
 
 Subcommands::
 
-    list                      registered sweeps and their sizes
+    list [--json]             registered sweeps and their sizes
     platforms                 hardware catalog with derived quantities
     run SWEEP [SWEEP...]      execute sweeps (cache-aware, parallel)
     report SWEEP [SWEEP...]   render sweeps (fully-cached runs are instant)
     diff OLD NEW              compare two sweep report JSON files
+    validate                  analytic-vs-DES fidelity vs. accuracy budget
+    cache stats               result-store size and per-sweep breakdown
 
 ``run``/``report`` share the cache flags: ``--cache DIR`` (default
 ``.repro-cache``), ``--no-cache``, ``--force``.  ``run all`` runs every
-registered sweep.  ``diff`` exits non-zero when the reports disagree, so
-it doubles as a CI regression gate against a committed baseline report.
+registered sweep; ``--backend analytic`` re-keys and re-runs any sweep
+under the closed-form engine.  ``diff`` exits non-zero when the reports
+disagree, so it doubles as a CI regression gate against a committed
+baseline report; ``validate`` exits non-zero when the analytic backend
+drifts outside its declared accuracy budget.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -24,6 +30,7 @@ from typing import List, Optional, Sequence
 from .registry import get_sweep, list_sweeps
 from .report import diff_reports, load_report, render_report, report_json
 from .execution import default_workers, run_sweep
+from .specs import BACKENDS, DEFAULT_BACKEND, sweep_with_backend
 from .store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = ["main"]
@@ -55,9 +62,23 @@ def _progress_printer(quiet: bool):
 
 def _cmd_list(args: argparse.Namespace) -> int:
     sweeps = list_sweeps()
+    if getattr(args, "json", False):
+        print(json.dumps([
+            {
+                "name": s.name,
+                "title": s.title,
+                "description": s.description,
+                "scenarios": len(s),
+                "assembler": s.assembler,
+                "backends": sorted({sc.backend for sc in s.scenarios}),
+                "key": s.key(),
+            }
+            for s in sweeps
+        ], indent=2, sort_keys=True))
+        return 0
     width = max(len(s.name) for s in sweeps)
     for sweep in sweeps:
-        print(f"{sweep.name:<{width}}  {len(sweep):>3} scenario(s)  "
+        print(f"{sweep.name:<{width}}  {len(sweep):>4} scenario(s)  "
               f"{sweep.title}: {sweep.description}")
     return 0
 
@@ -88,14 +109,74 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Result-store hygiene: record count, bytes, per-sweep breakdown."""
+    store = ResultStore(args.cache)
+    sizes = {key: store.path_for(key).stat().st_size
+             for key in store.keys()}
+    total_records, total_bytes = len(sizes), sum(sizes.values())
+    rows = []
+    claimed = set()
+    for sweep in list_sweeps():
+        keys = {s.key() for s in sweep.scenarios}
+        keys.add(sweep.key())
+        cached = keys & sizes.keys()
+        claimed |= cached
+        rows.append({
+            "sweep": sweep.name,
+            "records": len(cached),
+            "scenarios": len(sweep),
+            "bytes": sum(sizes[k] for k in cached),
+        })
+    other = sizes.keys() - claimed
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "cache": str(store.root),
+            "records": total_records,
+            "bytes": total_bytes,
+            "sweeps": rows,
+            "other_records": len(other),
+            "other_bytes": sum(sizes[k] for k in other),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"{store.root}: {total_records} record(s), {total_bytes} bytes")
+    width = max(len(r["sweep"]) for r in rows)
+    for r in rows:
+        if not r["records"]:
+            continue
+        # A sweep can claim len(sweep)+1 records: its scenarios plus the
+        # sweep-level assembled-figure record.
+        print(f"  {r['sweep']:<{width}}  {r['records']:>5}/{r['scenarios'] + 1:<5} "
+              f"record(s)  {r['bytes']:>10} bytes")
+    if other:
+        print(f"  {'(unregistered)':<{width}}  {len(other):>5}       "
+              f"record(s)  {sum(sizes[k] for k in other):>10} bytes")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from ..analytic.validate import run_validation
+    store = _make_store(args)
+    report = run_validation(store=store, workers=args.workers,
+                            progress=_progress_printer(args.quiet))
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _run_and_render(args: argparse.Namespace, expect_cached: bool) -> int:
     store = _make_store(args)
     report_dir = getattr(args, "report_dir", None)
     if report_dir is not None:
         Path(report_dir).mkdir(parents=True, exist_ok=True)
     status = 0
+    backend = getattr(args, "backend", None)
     for name in _resolve_names(args.sweeps):
         sweep = get_sweep(name)
+        if backend is not None:
+            sweep = sweep_with_backend(sweep, backend)
         print(f"== {name} ({len(sweep)} scenarios) ==", file=sys.stderr)
         run = run_sweep(sweep, store=store, workers=args.workers,
                         force=args.force,
@@ -132,6 +213,14 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="evaluation engine for every scenario (default: whatever the "
+             f"sweep declares, usually {DEFAULT_BACKEND!r}; 'analytic' is "
+             "the closed-form backend and re-keys the cache records)")
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", default=DEFAULT_CACHE_DIR,
                         help="result-store directory "
@@ -153,8 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run, cache, and compare the paper's evaluation sweeps.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered sweeps"
-                   ).set_defaults(fn=_cmd_list)
+    p_list = sub.add_parser("list", help="list registered sweeps")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable listing (names, sizes, keys)")
+    p_list.set_defaults(fn=_cmd_list)
 
     sub.add_parser(
         "platforms",
@@ -165,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("sweeps", nargs="+",
                        help="sweep names (or 'all')")
     _add_cache_args(p_run)
+    _add_backend_arg(p_run)
     p_run.add_argument("--force", action="store_true",
                        help="re-execute scenarios even on cache hits")
     p_run.add_argument("--expect-cached", action="store_true",
@@ -176,7 +268,28 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render sweeps (cache-aware; cached runs are free)")
     p_report.add_argument("sweeps", nargs="+", help="sweep names (or 'all')")
     _add_cache_args(p_report)
+    _add_backend_arg(p_report)
     p_report.set_defaults(fn=_cmd_report)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="run matched sim/analytic grids; fail outside the accuracy "
+             "budget")
+    _add_cache_args(p_validate)
+    p_validate.add_argument("--json", action="store_true",
+                            help="machine-readable validation report")
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_cache = sub.add_parser("cache", help="result-store tooling")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="record count / bytes / per-sweep breakdown")
+    p_stats.add_argument("--cache", default=DEFAULT_CACHE_DIR,
+                         help="result-store directory "
+                              f"(default: {DEFAULT_CACHE_DIR})")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable statistics")
+    p_stats.set_defaults(fn=_cmd_cache_stats)
 
     p_diff = sub.add_parser(
         "diff", help="compare two sweep report JSON files")

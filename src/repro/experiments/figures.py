@@ -5,7 +5,10 @@ to live inline in ``benchmarks/`` is re-expressed here as a
 :class:`~repro.experiments.specs.SweepSpec`: a list of independent
 scenarios (one simulation — or one fused/baseline pair — each) plus an
 assembler that rebuilds the exact :class:`FigureResult` the direct path
-produces.  Scenario independence is what buys parallel sharding and
+produces.  Each runner dispatches on the ``backend`` scenario parameter:
+the default discrete-event engine, or the closed-form analytic engine
+(:mod:`repro.analytic`) that evaluates the same workload thousands of
+times faster — the axis behind the large ``dse_*`` design-space sweeps.  Scenario independence is what buys parallel sharding and
 content-addressed caching; the assemblers replicate the direct path's
 aggregation (worst-point normalization, skew statistics, paper-comparison
 strings) bit for bit, which
@@ -55,7 +58,13 @@ from ..hw.platform import PlatformLike, get_platform, \
     max_occupancy_of_baseline
 from ..sim import TraceRecorder
 from .registry import assembler, register_sweep, runner
-from .specs import ScenarioSpec, SweepSpec, scenario
+from .specs import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ScenarioSpec,
+    SweepSpec,
+    scenario,
+)
 
 __all__ = [
     "fig8_sweep", "fig9_sweep", "fig10_sweep", "fig11_sweep", "fig12_sweep",
@@ -64,8 +73,24 @@ __all__ = [
     "ablation_zero_copy_sweep", "ablation_cpu_proxy_sweep",
     "ext_embedding_backward_sweep", "smoke_sweep", "xhw_embedding_a2a_sweep",
     "xhw_gemv_allreduce_sweep", "xhw_gemm_a2a_sweep", "xhw_scaleout_sweep",
-    "xhw_smoke_sweep", "XHW_PLATFORMS",
+    "xhw_smoke_sweep", "XHW_PLATFORMS", "dse_fused_frontier_sweep",
+    "dse_smoke_sweep", "DSE_PLATFORMS",
 ]
+
+
+def _scenario_backend(p: Dict[str, Any]) -> str:
+    """Pop and validate a scenario's evaluation engine.
+
+    Runners branch on the result: ``"sim"`` (the default, represented by
+    the parameter's *absence* so pre-backend store keys are unchanged)
+    runs the discrete-event simulator, ``"analytic"`` the closed-form
+    backend (:mod:`repro.analytic`).
+    """
+    backend = p.pop("backend", DEFAULT_BACKEND)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
 
 
 def _platform_param(platform: PlatformLike):
@@ -97,6 +122,9 @@ def _embedding_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     ablation compares against an unmodified baseline).
     """
     p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_embedding_a2a
+        return predict_embedding_a2a(**p)
     num_nodes = p.pop("num_nodes")
     gpus_per_node = p.pop("gpus_per_node")
     platform = p.pop("platform", None)
@@ -116,6 +144,9 @@ def _embedding_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 def _embedding_fused(params: Dict[str, Any]) -> Dict[str, Any]:
     """A single fused embedding+A2A run (occupancy/scheduling/proxy knobs)."""
     p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_embedding_fused
+        return predict_embedding_fused(**p)
     num_nodes = p.pop("num_nodes", 2)
     gpus_per_node = p.pop("gpus_per_node", 1)
     cpu_proxy = p.pop("cpu_proxy", False)
@@ -134,6 +165,9 @@ def _embedding_fused(params: Dict[str, Any]) -> Dict[str, Any]:
 @runner("gemv_allreduce_pair")
 def _gemv_allreduce_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_gemv_allreduce
+        return predict_gemv_allreduce(**p)
     world = p.pop("world", 4)
     platform = p.pop("platform", None)
     cfg = GemvAllReduceConfig(functional=False, **p)
@@ -147,6 +181,9 @@ def _gemv_allreduce_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 @runner("gemm_a2a_pair")
 def _gemm_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_gemm_a2a
+        return predict_gemm_a2a(**p)
     world = p.pop("world", 4)
     platform = p.pop("platform", None)
     cfg = GemmA2AConfig(functional=False, **p)
@@ -160,6 +197,9 @@ def _gemm_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 @runner("embedding_grad_pair")
 def _embedding_grad_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_embedding_grad_a2a
+        return predict_embedding_grad_a2a(**p)
     num_nodes = p.pop("num_nodes", 2)
     gpus_per_node = p.pop("gpus_per_node", 1)
     platform = p.pop("platform", None)
@@ -175,6 +215,10 @@ def _embedding_grad_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 @runner("wg_timeline")
 def _wg_timeline(params: Dict[str, Any]) -> Dict[str, Any]:
     """Fig. 11's traced run; mirrors ``bench.figures.fig11_wg_timeline``."""
+    p = dict(params)
+    if _scenario_backend(p) == "analytic":
+        from ..analytic import predict_wg_timeline
+        return predict_wg_timeline(**p)
     batch = params.get("batch", 512)
     tables = params.get("tables", 32)
     wgs_per_slice = params.get("wgs_per_slice", 16)
@@ -215,8 +259,12 @@ def _wg_timeline(params: Dict[str, Any]) -> Dict[str, Any]:
 
 @runner("dlrm_scaleout")
 def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
-    r = run_dlrm_scaleout(params["num_nodes"],
-                          platform=params.get("platform"))
+    # The scale-out pipeline (repro.astra) is closed-form already, so both
+    # backends share it and agree exactly; the backend parameter only
+    # distinguishes the store keys.
+    p = dict(params)
+    _scenario_backend(p)
+    r = run_dlrm_scaleout(p["num_nodes"], platform=p.get("platform"))
     return {
         "fused_time": r.fused_time,
         "baseline_time": r.baseline_time,
@@ -228,9 +276,11 @@ def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
 @runner("table_setup")
 def _table_setup(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..bench.figures import table1_setup, table2_setup
-    which = params["which"]
+    p = dict(params)
+    _scenario_backend(p)  # table rendering is closed-form on either engine
+    which = p["which"]
     if which == "table1":
-        fig = table1_setup(platform=params.get("platform"))
+        fig = table1_setup(platform=p.get("platform"))
     else:
         fig = table2_setup()
     return {"extra": dict(fig.extra)}
@@ -353,6 +403,56 @@ def _assemble_xhw(sweep: SweepSpec, specs, results, figure: str = "",
     res.extra["speedup_by_platform"] = {
         name: round(sum(v) / len(v), 4)
         for name, v in by_platform.items()}
+    return res
+
+
+@assembler("dse_frontier")
+def _assemble_dse_frontier(sweep: SweepSpec, specs, results, figure: str = "",
+                           description: str = "") -> FigureResult:
+    """Design-space semantics: per-platform Pareto frontiers of
+    (fused latency, fused-over-baseline speedup).
+
+    A global frontier would collapse onto the fastest device; per platform
+    is the design question the sweep answers — *on this hardware*, which
+    configurations are undominated (no other config is both faster and a
+    bigger win)?  Rows are the union of the per-platform frontiers
+    (minimize fused time, maximize baseline/fused speedup); the full grid
+    stays in the scenario records.  ``extra`` carries the grid size, the
+    frontier as raw data, and the globally undominated subset.
+    """
+    from ..analytic import pareto_frontier
+    res = FigureResult(figure or sweep.title,
+                       description or sweep.description)
+    grouped: Dict[str, list] = {}
+    points = []
+    for spec, result in _visible(specs, results):
+        point = (spec, result, result["baseline_time"] / result["fused_time"])
+        points.append(point)
+        grouped.setdefault(_platform_display(spec.params["platform"]),
+                           []).append(point)
+    objectives = lambda p: (p[1]["fused_time"], -p[2])  # noqa: E731
+    by_platform: Dict[str, int] = {}
+    frontier_data = []
+    for name in sorted(grouped):
+        frontier = pareto_frontier(grouped[name], objectives)
+        by_platform[name] = len(frontier)
+        for spec, result, speedup in frontier:
+            res.add(Row(label=spec.label, fused_time=result["fused_time"],
+                        baseline_time=result["baseline_time"]))
+            frontier_data.append({
+                "label": spec.label,
+                "fused_us": round(result["fused_time"] * 1e6, 3),
+                "speedup": round(speedup, 4),
+            })
+    global_frontier = pareto_frontier(points, objectives)
+    best = max(points, key=lambda p: p[2])
+    res.extra["n_scenarios"] = len(points)
+    res.extra["n_frontier"] = len(frontier_data)
+    res.extra["best_speedup"] = f"{best[2]:.2f}x at {best[0].label}"
+    res.extra["frontier_by_platform"] = by_platform
+    res.extra["global_frontier"] = sorted(s.label
+                                          for s, _r, _x in global_frontier)
+    res.extra["frontier"] = frontier_data
     return res
 
 
@@ -777,6 +877,68 @@ def xhw_smoke_sweep(name: str = "xhw-smoke") -> SweepSpec:
                                     platforms=("mi210", "h100"), name=name)
 
 
+# ----------------------------------------------------------------------
+# Design-space exploration: large analytic grids + Pareto frontiers.
+# ----------------------------------------------------------------------
+
+#: Platform axis of the design-space sweeps (the full catalog).
+DSE_PLATFORMS: Tuple[str, ...] = ("mi210", "mi250x", "mi300x", "h100")
+#: Workload axes: global batch x tables (message volume), slice size
+#: (message granularity), occupancy split, and cluster topology.
+DSE_BATCHES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
+DSE_TABLES: Tuple[int, ...] = (16, 64, 256)
+DSE_SLICES: Tuple[int, ...] = (16, 32, 64)
+DSE_OCCUPANCIES: Tuple[float, ...] = (0.25, 0.5, 0.75)
+DSE_TOPOLOGIES: Tuple[Tuple[int, int], ...] = ((1, 4), (2, 1))
+
+
+def dse_fused_frontier_sweep(name: str = "dse_fused_frontier",
+                             platforms: Sequence[PlatformLike]
+                             = DSE_PLATFORMS,
+                             batches: Sequence[int] = DSE_BATCHES,
+                             tables: Sequence[int] = DSE_TABLES,
+                             slices: Sequence[int] = DSE_SLICES,
+                             occupancies: Sequence[float] = DSE_OCCUPANCIES,
+                             topologies: Sequence[Tuple[int, int]]
+                             = DSE_TOPOLOGIES,
+                             backend: str = "analytic") -> SweepSpec:
+    """Fused embedding+A2A design space: platform x batch x tables x
+    slice size x occupancy split x topology, Pareto-assembled.
+
+    The default grid is ~1,300 scenarios — minutes-per-point under the
+    DES, a handful of seconds end to end under the analytic backend.
+    """
+    scenarios = []
+    for pp in map(_platform_param, platforms):
+        pname = _platform_display(pp)
+        for num_nodes, gpus_per_node in topologies:
+            for batch in batches:
+                for tb in tables:
+                    for sv in slices:
+                        for occ in occupancies:
+                            s = scenario(
+                                "embedding_a2a_pair",
+                                label=(f"{pname} {num_nodes}x{gpus_per_node}"
+                                       f" {batch}|{tb} sv{sv} occ{occ}"),
+                                global_batch=batch, tables_per_gpu=tb,
+                                slice_vectors=sv, occupancy_of_baseline=occ,
+                                num_nodes=num_nodes,
+                                gpus_per_node=gpus_per_node, platform=pp)
+                            scenarios.append(s.with_backend(backend))
+    return SweepSpec.make(
+        name, "DSE", scenarios, assembler="dse_frontier", figure="DSE",
+        description="fused embedding+A2A design-space frontier "
+                    "(latency vs speedup)")
+
+
+def dse_smoke_sweep(name: str = "dse-smoke") -> SweepSpec:
+    """Small analytic slice for CI cache-behaviour checks (8 scenarios)."""
+    return dse_fused_frontier_sweep(
+        name=name, platforms=("mi210", "h100"), batches=(512, 2048),
+        tables=(64,), slices=(32,), occupancies=(0.25, 0.75),
+        topologies=((2, 1),))
+
+
 def smoke_sweep(name: str = "smoke") -> SweepSpec:
     """Small, fast sweep for CI cache-behaviour checks (~2 s serial)."""
     plat = _platform_param(None)
@@ -816,5 +978,7 @@ ALL_SWEEPS: Tuple[SweepSpec, ...] = tuple(register_sweep(s) for s in (
     xhw_gemm_a2a_sweep(),
     xhw_scaleout_sweep(),
     xhw_smoke_sweep(),
+    dse_fused_frontier_sweep(),
+    dse_smoke_sweep(),
     smoke_sweep(),
 ))

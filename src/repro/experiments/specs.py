@@ -24,12 +24,15 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 
 __all__ = [
     "SCHEMA_VERSION",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "ScenarioSpec",
     "SweepSpec",
     "canonical_json",
     "grid_params",
     "zip_params",
     "scenario",
+    "sweep_with_backend",
 ]
 
 #: Version of the scenario/record schema.  Bump whenever a change to the
@@ -37,6 +40,17 @@ __all__ = [
 #: results; every cached key changes with it.  v2: scenario params carry a
 #: canonical ``platform`` field (the hardware catalog axis).
 SCHEMA_VERSION = 2
+
+#: Evaluation engines a scenario can run under.  ``"sim"`` is the
+#: discrete-event simulator; ``"analytic"`` the closed-form backend
+#: (:mod:`repro.analytic`).  The backend travels as an ordinary scenario
+#: parameter — and is therefore hashed into the store key — but the
+#: default is *represented by absence*: a scenario with no ``backend``
+#: parameter is a DES scenario with exactly the key it had before the
+#: analytic backend existed, so default-path cached results and reports
+#: stay byte-identical.
+BACKENDS = ("sim", "analytic")
+DEFAULT_BACKEND = "sim"
 
 
 def canonical_json(value: Any) -> str:
@@ -54,7 +68,12 @@ def _check_jsonable(params: Mapping[str, Any], where: str) -> None:
 
 @dataclass(frozen=True, order=True)
 class ScenarioSpec:
-    """One unit of simulated work: a registered runner + its parameters."""
+    """One unit of work: a registered runner + its parameters.
+
+    The optional ``backend`` parameter selects the evaluation engine
+    (DES or analytic, see :data:`BACKENDS`); everything else describes
+    the workload itself.
+    """
 
     runner: str                 #: name in :data:`repro.experiments.registry.RUNNERS`
     params_json: str = "{}"     #: canonical JSON of the parameter mapping
@@ -75,6 +94,27 @@ class ScenarioSpec:
         merged.update(overrides)
         _check_jsonable(merged, f"scenario {self.runner!r}")
         return replace(self, params_json=canonical_json(merged))
+
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """Copy pinned to an evaluation engine (see :data:`BACKENDS`).
+
+        Selecting :data:`DEFAULT_BACKEND` *removes* the parameter, so the
+        round trip through any backend lands back on the original spec —
+        and the original store key.
+        """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
+        params = self.params
+        if backend == DEFAULT_BACKEND:
+            params.pop("backend", None)
+        else:
+            params["backend"] = backend
+        return replace(self, params_json=canonical_json(params))
+
+    @property
+    def backend(self) -> str:
+        return self.params.get("backend", DEFAULT_BACKEND)
 
     def key(self) -> str:
         """Stable content hash of (schema version, runner, params).
@@ -146,6 +186,18 @@ class SweepSpec:
 
     def __iter__(self) -> Iterator[ScenarioSpec]:
         return iter(self.scenarios)
+
+
+def sweep_with_backend(sweep: "SweepSpec", backend: str) -> "SweepSpec":
+    """The same sweep with every scenario pinned to ``backend``.
+
+    Works on *any* sweep — registered or ad hoc — because every scenario
+    runner dispatches on the ``backend`` parameter.  Choosing
+    :data:`DEFAULT_BACKEND` strips the parameter, recovering the original
+    sweep (and its cached results) exactly.
+    """
+    return replace(sweep, scenarios=tuple(s.with_backend(backend)
+                                          for s in sweep.scenarios))
 
 
 def grid_params(**axes: Any) -> List[Dict[str, Any]]:

@@ -14,6 +14,12 @@ produce numerically identical outputs (verified by the integration tests).
 In *timing-only* mode (``functional=False``) the NumPy payloads are skipped
 so paper-scale configurations run quickly; all simulated-time behaviour is
 unchanged.
+
+Each operator also has a closed-form *analytic* twin
+(:mod:`repro.analytic.ops`) predicting the same elapsed times without the
+event loop — thousands of scenarios per second for design-space sweeps,
+held to an accuracy budget against these simulated operators by
+``python -m repro validate``.
 """
 
 from __future__ import annotations

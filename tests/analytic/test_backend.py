@@ -1,0 +1,203 @@
+"""Backend axis threading: keys, dispatch, default-path bit-identity.
+
+The contract under test:
+
+* a scenario with no ``backend`` parameter is a DES scenario with exactly
+  the content key it had before the analytic backend existed (default
+  path bit-identical);
+* pinning a backend re-keys the scenario; round-tripping through
+  ``"sim"`` recovers the original spec and key exactly;
+* every runner dispatches on the parameter, and the closed-form-shared
+  runners (tables, DLRM scale-out) return identical payloads under both
+  engines.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ensure_registered,
+    get_sweep,
+    run_scenario,
+    run_sweep,
+    scenario,
+    sweep_with_backend,
+)
+from repro.experiments.report import report_json
+
+
+@pytest.fixture(autouse=True)
+def _registered():
+    ensure_registered()
+
+
+#: Sweeps that predate the backend axis: their scenarios must carry no
+#: backend parameter at all (absence *is* the default path).
+PRE_BACKEND_SWEEPS = [
+    "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "ablation-slice-size", "ablation-scheduling",
+    "ablation-zero-copy", "ablation-cpu-proxy", "ext-embedding-backward",
+    "xhw_embedding_a2a", "xhw_gemv_allreduce", "xhw_gemm_a2a",
+    "xhw_scaleout", "xhw-smoke", "smoke",
+]
+
+
+def test_default_path_has_no_backend_parameter():
+    for name in PRE_BACKEND_SWEEPS:
+        for spec in get_sweep(name).scenarios:
+            assert "backend" not in spec.params, (name, spec.label)
+            assert spec.backend == "sim"
+
+
+def test_seed_scenario_key_unchanged():
+    # Golden hash: the smoke sweep's GEMV scenario key as of the platform
+    # PR (schema v2).  The analytic backend must not move default-path
+    # keys — cached seed results stay addressable.
+    spec = get_sweep("smoke").scenarios[0]
+    assert spec.runner == "gemv_allreduce_pair"
+    assert spec.key() == scenario(
+        "gemv_allreduce_pair", label="anything", m=8192, n_per_gpu=2048,
+        world=4, platform="mi210").key()
+
+
+def test_with_backend_rekeys_and_round_trips():
+    spec = scenario("gemv_allreduce_pair", m=8192, n_per_gpu=2048, world=4,
+                    platform="mi210")
+    ana = spec.with_backend("analytic")
+    assert ana.backend == "analytic"
+    assert ana.params["backend"] == "analytic"
+    assert ana.key() != spec.key()
+    assert ana.with_backend("sim") == spec
+    assert ana.with_backend("sim").key() == spec.key()
+    with pytest.raises(ValueError, match="unknown backend"):
+        spec.with_backend("quantum")
+
+
+def test_sweep_with_backend_round_trips():
+    sweep = get_sweep("smoke")
+    ana = sweep_with_backend(sweep, "analytic")
+    assert ana.key() != sweep.key()
+    assert all(s.backend == "analytic" for s in ana.scenarios)
+    back = sweep_with_backend(ana, "sim")
+    assert back == sweep
+    assert [s.label for s in ana.scenarios] == [s.label
+                                                for s in sweep.scenarios]
+
+
+def test_unknown_backend_rejected_at_run_time():
+    spec = scenario("gemv_allreduce_pair", m=8192, n_per_gpu=2048, world=4,
+                    backend="quantum")
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_scenario(spec)
+
+
+@pytest.mark.parametrize("runner,params", [
+    ("gemv_allreduce_pair", dict(m=8192, n_per_gpu=2048, world=4)),
+    ("gemm_a2a_pair", dict(tokens=2048, model_dim=4096, ffn_dim=8192,
+                           world=4)),
+    ("embedding_a2a_pair", dict(global_batch=512, tables_per_gpu=16,
+                                num_nodes=2, gpus_per_node=1)),
+    ("embedding_grad_pair", dict(global_batch=512, tables_per_gpu=16,
+                                 num_nodes=2, gpus_per_node=1)),
+])
+def test_analytic_dispatch_returns_positive_pair(runner, params):
+    result = run_scenario(scenario(runner, backend="analytic", **params))
+    assert result["fused_time"] > 0
+    assert result["baseline_time"] > 0
+
+
+def test_embedding_fused_analytic_shape():
+    result = run_scenario(scenario(
+        "embedding_fused", backend="analytic", global_batch=512,
+        tables_per_gpu=16, num_nodes=2, gpus_per_node=1))
+    assert result["elapsed"] > 0
+    assert set(result["rank_end_times"]) == {"0", "1"}
+
+
+def test_shared_closed_forms_identical_across_backends():
+    for params in (dict(which="table1"), dict(which="table2")):
+        sim = run_scenario(scenario("table_setup", **params))
+        ana = run_scenario(scenario("table_setup", backend="analytic",
+                                    **params))
+        assert sim == ana
+    sim = run_scenario(scenario("dlrm_scaleout", num_nodes=16))
+    ana = run_scenario(scenario("dlrm_scaleout", backend="analytic",
+                                num_nodes=16))
+    assert sim == ana
+
+
+def test_wg_timeline_analytic_geometry_and_keys():
+    sim = run_scenario(scenario("wg_timeline", batch=512, tables=32,
+                                wgs_per_slice=16, timeline_width=100))
+    ana = run_scenario(scenario("wg_timeline", backend="analytic",
+                                batch=512, tables=32, wgs_per_slice=16,
+                                timeline_width=100))
+    assert ana["puts_issued_node0"] == sim["puts_issued_node0"]
+    assert set(ana) == set(sim)
+
+
+def test_default_sim_report_unaffected_by_analytic_twin(tmp_path):
+    """Running the analytic twin must not perturb the sim report bytes."""
+    from repro.experiments import ResultStore
+    store = ResultStore(tmp_path / "cache")
+    sweep = get_sweep("smoke")
+    before = report_json(run_sweep(sweep, store=store).report())
+    run_sweep(sweep_with_backend(sweep, "analytic"), store=store)
+    after = report_json(run_sweep(sweep, store=store).report())
+    assert after == before
+
+
+# ----------------------------------------------------------------------
+# Design-space sweeps
+# ----------------------------------------------------------------------
+
+def test_dse_fused_frontier_is_registered_and_large():
+    sweep = get_sweep("dse_fused_frontier")
+    assert len(sweep) >= 1000
+    assert all(s.backend == "analytic" for s in sweep.scenarios)
+    labels = [s.label for s in sweep.scenarios]
+    assert len(set(labels)) == len(labels)
+
+
+def test_dse_smoke_runs_and_assembles():
+    run = run_sweep(get_sweep("dse-smoke"), store=None)
+    fig = run.figure()
+    assert fig.extra["n_scenarios"] == 8
+    assert 1 <= fig.extra["n_frontier"] <= 8
+    assert fig.rows
+    # Frontier rows must come from the grid and be non-dominated within
+    # their platform.
+    speedups = {r.label: r.baseline_time / r.fused_time for r in fig.rows}
+    assert all(v > 0 for v in speedups.values())
+
+
+def test_pareto_frontier_properties():
+    from repro.analytic import dominates, pareto_frontier
+    pts = [(1.0, 5.0), (2.0, 1.0), (1.5, 4.0), (1.0, 6.0), (3.0, 0.5)]
+    front = pareto_frontier(pts, lambda p: p)
+    for f in front:
+        assert not any(dominates(o, f) for o in pts if o != f)
+    for p in pts:
+        if p not in front:
+            assert any(dominates(o, p) for o in pts)
+    assert dominates((1.0, 1.0), (1.0, 2.0))
+    assert not dominates((1.0, 2.0), (2.0, 1.0))
+    with pytest.raises(ValueError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+def test_dse_full_grid_runs_fast(tmp_path):
+    """The 1000+-scenario grid must stay cheap (the DSE contract)."""
+    import time
+    sweep = get_sweep("dse_fused_frontier")
+    start = time.perf_counter()
+    run = run_sweep(sweep, store=None)
+    elapsed = time.perf_counter() - start
+    fig = run.figure()
+    assert fig.extra["n_scenarios"] == len(sweep) >= 1000
+    # CI boxes are slow; locally this is ~0.2 s.  The DES equivalent is
+    # ~1 scenario/second — three orders of magnitude over this bound.
+    assert elapsed < 30.0, f"analytic DSE grid took {elapsed:.1f}s"
+    report = run.report()
+    assert len(json.loads(report_json(report))["scenarios"]) == len(sweep)

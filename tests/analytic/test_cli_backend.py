@@ -1,0 +1,76 @@
+"""CLI surface for the analytic backend: list --json, cache stats,
+run --backend, validate."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list_json_is_machine_readable(capsys):
+    assert main(["list", "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    by_name = {entry["name"]: entry for entry in listing}
+    assert by_name["smoke"]["scenarios"] == 3
+    assert by_name["smoke"]["backends"] == ["sim"]
+    assert by_name["dse_fused_frontier"]["scenarios"] >= 1000
+    assert by_name["dse_fused_frontier"]["backends"] == ["analytic"]
+    for entry in listing:
+        assert set(entry) == {"name", "title", "description", "scenarios",
+                              "assembler", "backends", "key"}
+        assert len(entry["key"]) == 64
+
+
+def test_run_backend_analytic_rekeys_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    reports = tmp_path / "reports"
+    assert main(["run", "smoke", "--backend", "analytic", "--cache",
+                 str(cache), "--report-dir", str(reports), "--quiet"]) == 0
+    assert "3 scenarios, 0 cached, 3 executed" in capsys.readouterr().err
+    # Analytic records are content-addressed under their own keys: the
+    # re-run is fully cached and byte-identical.
+    assert main(["run", "smoke", "--backend", "analytic", "--cache",
+                 str(cache), "--quiet", "--expect-cached"]) == 0
+    capsys.readouterr()
+    # ...while the sim variant of the same sweep is still entirely cold.
+    assert main(["run", "smoke", "--cache", str(cache), "--quiet",
+                 "--expect-cached"]) == 1
+    capsys.readouterr()
+    report = json.loads((reports / "smoke.json").read_text())
+    assert all(s["params"]["backend"] == "analytic"
+               for s in report["scenarios"])
+
+
+def test_cache_stats_counts_records(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "dse-smoke", "--cache", str(cache), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache", str(cache), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    # 8 scenario records + 1 sweep-level figure record.
+    assert stats["records"] == 9
+    assert stats["bytes"] > 0
+    by_sweep = {row["sweep"]: row for row in stats["sweeps"]}
+    assert by_sweep["dse-smoke"]["records"] == 9
+    assert by_sweep["dse-smoke"]["scenarios"] == 8
+    assert by_sweep["fig8"]["records"] == 0
+    assert stats["other_records"] == 0
+
+    assert main(["cache", "stats", "--cache", str(cache)]) == 0
+    text = capsys.readouterr().out
+    assert "9 record(s)" in text
+    assert "dse-smoke" in text
+
+
+def test_cache_stats_empty_store(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache", str(tmp_path / "none")]) == 0
+    assert "0 record(s)" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_validate_cli_passes_budget(tmp_path, capsys):
+    assert main(["validate", "--cache", str(tmp_path / "cache"),
+                 "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "all metrics within budget" in out

@@ -1,0 +1,64 @@
+"""Fidelity subsystem tests: budget enforcement and report mechanics."""
+
+import json
+
+import pytest
+
+from repro.analytic.validate import (
+    ACCURACY_BUDGET,
+    ValidationMetric,
+    run_validation,
+    validation_cases,
+)
+from repro.experiments import ResultStore
+
+
+def test_validation_cases_cover_headline_figures():
+    names = [case for case, _sweep in validation_cases()]
+    for required in ("fig9", "fig11", "fig12", "fig15"):
+        assert required in names
+    assert set(names) <= set(ACCURACY_BUDGET)
+
+
+def test_headline_budget_is_declared_at_ten_percent():
+    for case in ("fig9", "fig11", "fig12"):
+        assert ACCURACY_BUDGET[case] == pytest.approx(0.10)
+    # Shared closed forms are held to exact agreement, not a 10% window.
+    assert ACCURACY_BUDGET["fig15"] < 1e-9
+
+
+def test_metric_flags_over_budget():
+    good = ValidationMetric("c", "m", sim=1.0, analytic=1.05, budget=0.10)
+    bad = ValidationMetric("c", "m", sim=1.0, analytic=1.25, budget=0.10)
+    assert good.ok and good.rel_err == pytest.approx(0.05)
+    assert not bad.ok
+    assert "FAIL" in str(bad)
+
+
+def test_fig15_and_fig9_validation_within_budget(tmp_path):
+    """One exact-tier and one modelled-tier case end to end (the full run
+    is CI's job; this keeps a fidelity regression inside tier-1)."""
+    store = ResultStore(tmp_path / "cache")
+    report = run_validation(store=store, cases=("fig9", "fig15"))
+    assert report.metrics
+    assert not report.geometry_failures
+    assert report.ok, report.render()
+    fig15 = [m for m in report.metrics if m.case == "fig15"]
+    assert fig15 and all(m.rel_err == 0.0 for m in fig15)
+    payload = report.to_json_dict()
+    assert payload["ok"] is True
+    json.dumps(payload)  # must be JSON-serializable as-is
+
+    # Second run: every scenario is served from the store.
+    rerun = run_validation(store=store, cases=("fig9", "fig15"))
+    assert rerun.ok
+    assert [ (m.case, m.metric, m.sim, m.analytic) for m in rerun.metrics] \
+        == [(m.case, m.metric, m.sim, m.analytic) for m in report.metrics]
+
+
+def test_validation_report_render_mentions_budget(tmp_path):
+    report = run_validation(store=ResultStore(tmp_path / "c"),
+                            cases=("fig15",))
+    text = report.render()
+    assert "analytic-vs-DES validation" in text
+    assert "within budget" in text
