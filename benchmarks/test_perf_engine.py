@@ -40,6 +40,9 @@ FIG9_SMALL_GRID = ((8192, 8192), (16384, 16384), (32768, 16384))
 #: Scenarios evaluated per repetition in the analytic-throughput
 #: measurement (distinct parameter points, as a sweep would produce).
 N_ANALYTIC = 512
+#: Scenario evaluations per repetition in the collective-algorithm
+#: throughput measurement (cycling the schedule menu, both collectives).
+N_COLLECTIVE = 600
 #: The DES scenario the engine-speedup ratio is measured against.
 RATIO_SCENARIO = dict(m=8192, n_per_gpu=2048, world=4)
 
@@ -93,6 +96,30 @@ def _analytic_scenarios_per_sec() -> float:
     return N_ANALYTIC / wall
 
 
+def _collective_algo_scenarios_per_sec() -> float:
+    """Evaluate the collective-algorithm library's closed forms across
+    the schedule menu (the `algo` sweep axis); scenarios per second."""
+    from repro.analytic import CommModel
+
+    shapes = ((1, 4), (2, 1), (2, 2), (2, 4))
+    ar_algos = ("direct", "ring", "tree", "hier")
+    a2a_algos = ("flat", "pairwise", "hier")
+
+    def run_grid():
+        models = [CommModel("mi210", num_nodes=n, gpus_per_node=g)
+                  for n, g in shapes]
+        for i in range(N_COLLECTIVE):
+            cm = models[i % len(models)]
+            n_elems = 4096 + 512 * (i % 64)
+            cm.allreduce_time(float(2 * n_elems), n_elems, itemsize=2,
+                              algo=ar_algos[i % len(ar_algos)])
+            cm.alltoall_time(float(1024 + 256 * (i % 32)),
+                             algo=a2a_algos[i % len(a2a_algos)])
+
+    _, wall = time_call(run_grid, repeats=BEST_OF)
+    return N_COLLECTIVE / wall
+
+
 def _des_scenarios_per_sec() -> float:
     """The same operator pair under the DES, for the engine-speedup ratio."""
     from repro.experiments import run_scenario, scenario
@@ -115,6 +142,14 @@ def test_analytic_backend_throughput():
         f"analytic backend collapsed: {analytic:.0f} scenarios/s")
     assert analytic / des > 50, (
         f"analytic/DES speedup collapsed: {analytic / des:.0f}x")
+
+
+def test_collective_algo_throughput():
+    """The algorithm library's closed forms must stay sweep-grade fast
+    (the dse algo axis multiplies every grid by the schedule menu)."""
+    per_sec = _collective_algo_scenarios_per_sec()
+    assert per_sec > 1000, (
+        f"collective-algorithm evaluation collapsed: {per_sec:.0f}/s")
 
 
 def test_engine_event_throughput():
@@ -140,6 +175,7 @@ def test_fastpath_speedup_and_report(monkeypatch):
         lambda: fig9_gemv_allreduce(grid=FIG9_SMALL_GRID))
     analytic = _analytic_scenarios_per_sec()
     des = _des_scenarios_per_sec()
+    collective = _collective_algo_scenarios_per_sec()
     payload = {
         # "platform" is the host OS string (write_bench_report);
         # "hw_platform" names the simulated hardware catalog entry.
@@ -151,6 +187,7 @@ def test_fastpath_speedup_and_report(monkeypatch):
         "analytic_scenarios_per_sec": round(analytic),
         "des_scenarios_per_sec": round(des, 2),
         "analytic_over_des_speedup": round(analytic / des),
+        "collective_algos_scenarios_per_sec": round(collective),
         "fig9_reduced_grid_wall_sec": round(fig9_wall, 3),
         "fig9_reduced_grid_mean_normalized": round(fig9.mean_normalized, 4),
     }

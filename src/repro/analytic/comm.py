@@ -18,6 +18,9 @@ Closed-form twins of the DES transport stack:
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..collectives import CommTopology, resolve_allreduce, resolve_alltoall
 from ..comm.collectives import BLIT_EFFICIENCY
 from ..comm.shmem import FLAG_BYTES, ShmemContext
 from ..hw.platform import PlatformLike, get_platform
@@ -100,7 +103,7 @@ class CommModel:
         mem_t = read_bytes / self.device.hbm_bandwidth(1.0)
         return max(flop_t, mem_t)
 
-    def _blit_route_time(self, nbytes: float, remote_node: bool) -> float:
+    def blit_route_time(self, nbytes: float, remote_node: bool) -> float:
         """One baseline-collective chunk: blit staging intra-node, RDMA
         (no blit, no proxy — collectives are host-launched) inter-node."""
         if remote_node:
@@ -109,43 +112,56 @@ class CommModel:
         return self.link.latency + (nbytes / self.blit_efficiency
                                     / self.link.bandwidth)
 
-    def alltoall_time(self, chunk_bytes: float) -> float:
+    # Backwards-compatible alias (pre-algorithm-library name).
+    _blit_route_time = blit_route_time
+
+    def nic_pipeline_time(self, n_msgs: int, msg_bytes: float,
+                          rx_msgs: Optional[int] = None) -> float:
+        """``n_msgs`` concurrent off-node messages through one shared NIC.
+
+        The TX engine serializes the per-message overhead of every
+        off-node chunk, and the destination's RX port serializes their
+        payload bytes — a two-stage pipeline whose last completion is
+        bounded by the slower stage plus one unit of the other.
+        ``rx_msgs`` overrides the arrival count at the busiest RX port
+        when it differs from the TX count (asymmetric schedules like the
+        tree's cross-node rounds); it defaults to ``n_msgs``.
+        """
+        rx = n_msgs if rx_msgs is None else rx_msgs
+        mo = self.nic.message_overhead
+        wire = msg_bytes / self.nic.bandwidth
+        return self.nic.latency + max(n_msgs * mo + wire,
+                                      mo + rx * wire)
+
+    def topology(self) -> CommTopology:
+        return CommTopology(self.num_nodes, self.gpus_per_node)
+
+    def alltoall_time(self, chunk_bytes: float,
+                      algo: Optional[str] = None) -> float:
         """Mirror of ``CollectiveLibrary.all_to_all_bytes`` (symmetric
-        ranks): launch, then the slowest of the local copy, the dedicated
-        intra-node links, and the incast-serialized NIC RX port."""
+        ranks).  ``algo`` names a schedule from
+        :mod:`repro.collectives` (``None`` = the legacy flat one); each
+        closed form mirrors its DES schedule round for round."""
         if chunk_bytes < 0:
             raise ValueError("chunk_bytes must be >= 0")
-        if self.world == 1:
-            return self.launch() + self.local_copy_time(chunk_bytes)
-        longest = self.local_copy_time(chunk_bytes)
-        if self.gpus_per_node > 1:
-            longest = max(longest, self._blit_route_time(chunk_bytes, False))
-        remote_gpus = self.world - self.gpus_per_node
-        if remote_gpus:
-            # All of a node's GPUs share one NIC: the TX engine serializes
-            # the per-message overhead of every off-node chunk, and the
-            # destination's RX port serializes their payload bytes — a
-            # two-stage pipeline whose last completion is bounded by the
-            # slower stage plus one unit of the other.
-            n_msgs = self.gpus_per_node * remote_gpus
-            mo = self.nic.message_overhead
-            wire = chunk_bytes / self.nic.bandwidth
-            inter = self.nic.latency + max(n_msgs * mo + wire,
-                                           mo + n_msgs * wire)
-            longest = max(longest, inter)
-        return self.launch() + longest
+        algorithm = resolve_alltoall(algo, self.topology(), chunk_bytes)
+        return algorithm.analytic_time(self, self.topology(), chunk_bytes)
+
+    def allreduce_time(self, nbytes: float, n_elems: int, itemsize: int = 4,
+                       algo: Optional[str] = None) -> float:
+        """Mirror of ``CollectiveLibrary.all_reduce_bytes``.  ``algo``
+        names a schedule from :mod:`repro.collectives`; ``None`` keeps
+        the legacy default (direct inside a node, ring across nodes)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        topo = self.topology()
+        algorithm = resolve_allreduce(algo, topo, nbytes)
+        if topo.world == 1:
+            return self.launch()
+        return algorithm.analytic_time(self, topo, nbytes, n_elems, itemsize)
 
     def allreduce_direct_time(self, nbytes: float, n_elems: int,
                               itemsize: int = 4) -> float:
         """Mirror of ``all_reduce_bytes(algorithm="direct")``: launch,
         reduce-scatter phase, local reduction, all-gather phase."""
-        if nbytes < 0:
-            raise ValueError("nbytes must be >= 0")
-        if self.world == 1:
-            return self.launch()
-        chunk = nbytes / self.world
-        chunk_elems = max(1, n_elems // self.world)
-        phase = max(self._blit_route_time(chunk, dst_gpu >= self.gpus_per_node)
-                    for dst_gpu in range(1, self.world))
-        return (self.launch() + 2 * phase
-                + self.reduce_time(chunk_elems, self.world, itemsize))
+        return self.allreduce_time(nbytes, n_elems, itemsize, algo="direct")

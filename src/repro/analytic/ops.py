@@ -175,10 +175,24 @@ def _embedding_fused_time(num_nodes: int, gpus_per_node: int,
             compute_end, first_issue, last_issue, drain,
             cm.signal_tail(slice_bytes, remote_node=False)))
     if other_node:
-        drain = cm.drain_time(other_node * msgs * (slice_bytes + FLAG_BYTES),
-                              2 * other_node * msgs, remote_node=True)
+        # The NIC is a *node* resource: all gpus_per_node ranks drain
+        # their off-node slices through the same TX engine (a no-op on
+        # 1-GPU nodes, where this has always been exact).
+        nic_msgs = gpus_per_node * other_node * msgs
+        drain = cm.drain_time(nic_msgs * (slice_bytes + FLAG_BYTES),
+                              2 * nic_msgs, remote_node=True)
+        first_nic = first_issue
+        if same_node_remote:
+            # Destinations are walked in ascending order, so on the
+            # worst-placed node every same-node-remote stripe computes
+            # before the first off-node put issues — the NIC drain
+            # starts one intra-node stripe late (mixed shapes only;
+            # 1-GPU nodes have no such stripe and stay exact).
+            same_total = per_dest_tasks * same_node_remote * dur_same \
+                + same_node_remote * T * n_s * spec.shmem_api_latency
+            first_nic = launch + same_total / slots
         finish = max(finish, _overlap_finish(
-            compute_end, first_issue, last_issue, drain,
+            compute_end, first_nic, last_issue, drain,
             cm.signal_tail(slice_bytes, remote_node=True)))
     return {"elapsed": finish, "first_issue": first_issue,
             "last_issue": last_issue, "launch": launch,
@@ -199,7 +213,7 @@ def _embedding_baseline_time(num_nodes: int, gpus_per_node: int,
         cfg.global_batch, cost, d.base_res)
     chunk = float(cfg.local_batch(world) * cfg.tables_per_gpu
                   * cfg.dim * ITEMSIZE)
-    return compute + cm.alltoall_time(chunk)
+    return compute + cm.alltoall_time(chunk, algo=cfg.algo)
 
 
 def predict_embedding_a2a(num_nodes: int, gpus_per_node: int,
@@ -208,8 +222,11 @@ def predict_embedding_a2a(num_nodes: int, gpus_per_node: int,
                           **cfg_fields: Any) -> Dict[str, float]:
     """Analytic twin of the ``embedding_a2a_pair`` runner."""
     cfg = EmbeddingA2AConfig(functional=False, **cfg_fields)
+    # The baseline override inherits the collective schedule unless it
+    # names its own (the algo axis compares like against like).
     base_cfg = (cfg if baseline is None
-                else EmbeddingA2AConfig(functional=False, **baseline))
+                else EmbeddingA2AConfig(functional=False,
+                                        **{"algo": cfg.algo, **baseline}))
     fused = _embedding_fused_time(num_nodes, gpus_per_node, cfg,
                                   platform=platform)
     return {
@@ -289,7 +306,7 @@ def predict_embedding_grad_a2a(num_nodes: int = 2, gpus_per_node: int = 1,
 
     # Baseline: All-to-All kernel, then a bulk scatter-add kernel.
     chunk = float(cfg.local_batch(world) * T * cfg.dim * ITEMSIZE)
-    baseline = (cm.alltoall_time(chunk)
+    baseline = (cm.alltoall_time(chunk, algo=cfg.algo)
                 + d.bulk_kernel_time(cfg.global_batch * T,
                                      _scatter_cost(cfg, 1), d.base_res))
     return {"fused_time": finish, "baseline_time": baseline}
@@ -350,8 +367,9 @@ def predict_gemv_allreduce(world: int = 4, platform: PlatformLike = None,
     bulk_cost = WgCost(bulk_cost.flops, bulk_cost.bytes, cfg.flop_dtype, 0.0)
     baseline = (d.bulk_kernel_time(cfg.m // cfg.tile_rows, bulk_cost,
                                    d.base_res)
-                + cm.allreduce_direct_time(float(cfg.m * cfg.itemsize),
-                                           cfg.m, itemsize=cfg.itemsize))
+                + cm.allreduce_time(float(cfg.m * cfg.itemsize), cfg.m,
+                                    itemsize=cfg.itemsize,
+                                    algo=cfg.algo or "direct"))
     return {"fused_time": fused, "baseline_time": baseline}
 
 
@@ -407,7 +425,7 @@ def predict_gemm_a2a(world: int = 4, platform: PlatformLike = None,
     tps = cfg.tokens_per_src(world)
     chunk = float(tps * cfg.ffn_dim * cfg.itemsize)
     baseline = (d.bulk_kernel_time(n_tasks, bulk_cost, d.base_res)
-                + cm.alltoall_time(chunk))
+                + cm.alltoall_time(chunk, algo=cfg.algo))
     return {"fused_time": fused, "baseline_time": baseline}
 
 

@@ -1,0 +1,72 @@
+"""Topology-aware collective-algorithm library.
+
+A pluggable menu of AllReduce and All-to-All schedules, each implemented
+against both evaluation engines — DES schedules over the
+fabric/NIC/kernel machinery, and closed forms for the analytic backend —
+plus a size/topology auto-selector (``algo="auto"``).  See ``base.py``
+for the model and ``python -m repro algos`` for the catalog.
+"""
+
+from .base import (
+    AUTO,
+    PAIRWISE_MAX_BYTES,
+    TREE_MAX_BYTES,
+    AllReduceAlgorithm,
+    AllToAllAlgorithm,
+    CommTopology,
+    algorithm_table,
+    allreduce_names,
+    alltoall_names,
+    check_algo,
+    default_allreduce,
+    default_alltoall,
+    get_allreduce,
+    get_alltoall,
+    register_allreduce,
+    register_alltoall,
+    resolve_allreduce,
+    resolve_alltoall,
+    select_allreduce,
+    select_alltoall,
+)
+from .allreduce import (
+    DirectAllReduce,
+    HierarchicalAllReduce,
+    RingAllReduce,
+    TreeAllReduce,
+)
+from .alltoall import (
+    FlatAllToAll,
+    HierarchicalAllToAll,
+    PairwiseAllToAll,
+)
+
+__all__ = [
+    "AUTO",
+    "TREE_MAX_BYTES",
+    "PAIRWISE_MAX_BYTES",
+    "AllReduceAlgorithm",
+    "AllToAllAlgorithm",
+    "CommTopology",
+    "algorithm_table",
+    "allreduce_names",
+    "alltoall_names",
+    "check_algo",
+    "default_allreduce",
+    "default_alltoall",
+    "get_allreduce",
+    "get_alltoall",
+    "register_allreduce",
+    "register_alltoall",
+    "resolve_allreduce",
+    "resolve_alltoall",
+    "select_allreduce",
+    "select_alltoall",
+    "DirectAllReduce",
+    "RingAllReduce",
+    "TreeAllReduce",
+    "HierarchicalAllReduce",
+    "FlatAllToAll",
+    "PairwiseAllToAll",
+    "HierarchicalAllToAll",
+]

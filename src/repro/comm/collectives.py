@@ -2,6 +2,11 @@
 
 This is the comparison point for every fused operator in the paper: separate
 computation and communication *kernels* executing at kernel boundaries.
+The step schedules themselves live in :mod:`repro.collectives` — a
+pluggable menu of ring/tree/direct/hierarchical AllReduce and
+flat/pairwise/hierarchical All-to-All variants selected with the
+``algorithm`` argument (``None`` keeps the legacy defaults the paper
+evaluates against; ``"auto"`` picks by message size and topology).
 Each collective here:
 
 * produces functionally exact outputs (NumPy), and
@@ -21,6 +26,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..collectives import CommTopology, resolve_allreduce, resolve_alltoall
 from ..hw.topology import Cluster
 from ..sim import Simulator
 
@@ -92,74 +98,44 @@ class CollectiveLibrary:
         procs = [self.sim.process(g) for g in rank_gens]
         yield self.sim.all_of(procs)
 
+    def topology(self) -> CommTopology:
+        """This cluster's shape, for algorithm resolution/selection."""
+        return CommTopology.from_cluster(self.cluster)
+
     # -- timing-only variants ---------------------------------------------------
-    def all_to_all_bytes(self, chunk_bytes: float) -> "Generator":
+    def all_to_all_bytes(self, chunk_bytes: float,
+                         algorithm: Optional[str] = None) -> "Generator":
         """Timing-only All-to-All where every (src, dst) chunk is
-        ``chunk_bytes``; no functional payload (paper-scale benchmarks)."""
+        ``chunk_bytes``; no functional payload (paper-scale benchmarks).
+
+        ``algorithm`` names a schedule from :mod:`repro.collectives`
+        (``"flat"``, ``"pairwise"``, ``"hier"``, or ``"auto"`` for the
+        size/topology selector); ``None`` is the legacy flat schedule.
+        """
         if chunk_bytes < 0:
             raise ValueError("chunk_bytes must be >= 0")
-        world = self.cluster.world_size
-        launch = self._launch_delay()
-
-        def rank_proc(r):
-            if launch:
-                yield self.sim.timeout(launch)
-            evs = []
-            for dst in range(world):
-                if dst == r:
-                    evs.append(self.sim.timeout(
-                        self._local_copy_time(r, chunk_bytes)))
-                else:
-                    evs.append(self._route(r, dst, chunk_bytes))
-            yield self.sim.all_of(evs)
-
-        yield from self._run_ranks(rank_proc(r) for r in range(world))
+        algo = resolve_alltoall(algorithm, self.topology(), chunk_bytes)
+        yield from algo.des_run(self, self.topology(), chunk_bytes)
         return None
 
     def all_reduce_bytes(self, nbytes: float, n_elems: int, itemsize: int = 4,
                          algorithm: Optional[str] = None) -> "Generator":
         """Timing-only AllReduce of an ``nbytes`` buffer (``n_elems``
-        elements) — same step structure as :meth:`all_reduce`."""
+        elements) — same step structure as :meth:`all_reduce`.
+
+        ``algorithm`` names a schedule from :mod:`repro.collectives`
+        (``"direct"``, ``"ring"``, ``"tree"``, ``"hier"``, or ``"auto"``
+        for the size/topology selector); ``None`` keeps the legacy
+        default — direct inside a node, ring across nodes.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        world = self.cluster.world_size
-        if algorithm is None:
-            algorithm = "direct" if self.cluster.num_nodes == 1 else "ring"
-        if algorithm not in ("direct", "ring"):
-            raise ValueError(f"unknown AllReduce algorithm {algorithm!r}")
-        launch = self._launch_delay()
-        if world == 1:
-            yield self.sim.timeout(launch)
+        topo = self.topology()
+        algo = resolve_allreduce(algorithm, topo, nbytes)
+        if topo.world == 1:
+            yield self.sim.timeout(self._launch_delay())
             return None
-        chunk_bytes = nbytes / world
-        chunk_elems = max(1, n_elems // world)
-
-        if algorithm == "direct":
-            def rank_proc(r):
-                if launch:
-                    yield self.sim.timeout(launch)
-                evs = [self._route(r, dst, chunk_bytes)
-                       for dst in range(world) if dst != r]
-                yield self.sim.all_of(evs)
-                yield self.sim.timeout(self._reduce_time(
-                    r, chunk_elems, world, itemsize))
-                evs = [self._route(r, dst, chunk_bytes)
-                       for dst in range(world) if dst != r]
-                yield self.sim.all_of(evs)
-
-            yield from self._run_ranks(rank_proc(r) for r in range(world))
-            return None
-
-        if launch:
-            yield self.sim.timeout(launch)
-        for phase in range(2):
-            for _ in range(world - 1):
-                def rank_proc(r, reduce_phase=(phase == 0)):
-                    yield self._route(r, (r + 1) % world, chunk_bytes)
-                    if reduce_phase:
-                        yield self.sim.timeout(self._reduce_time(
-                            r, chunk_elems, 2, itemsize))
-                yield from self._run_ranks(rank_proc(r) for r in range(world))
+        yield from algo.des_run(self, topo, nbytes, n_elems, itemsize)
         return None
 
     # -- All-to-All ------------------------------------------------------------
@@ -201,9 +177,11 @@ class CollectiveLibrary:
                    algorithm: Optional[str] = None) -> "Generator":
         """Sum-AllReduce across ranks; returns the reduced array per rank.
 
-        ``algorithm``: "direct" (two-phase, fully-connected intra-node,
-        the paper's choice for scale-up) or "ring" (used across nodes).
-        Defaults to "direct" for a single node, "ring" otherwise.
+        ``algorithm``: any schedule registered in
+        :mod:`repro.collectives` ("direct", "ring", "tree", "hier", or
+        "auto").  Defaults to "direct" for a single node, "ring"
+        otherwise.  The reduced values are schedule-independent; the
+        algorithm shapes the simulated timing.
         """
         world = self.cluster.world_size
         if len(arrays) != world:
@@ -211,13 +189,19 @@ class CollectiveLibrary:
         shapes = {a.shape for a in arrays}
         if len(shapes) != 1:
             raise ValueError(f"mismatched AllReduce shapes: {shapes}")
-        if algorithm is None:
-            algorithm = "direct" if self.cluster.num_nodes == 1 else "ring"
-        if algorithm not in ("direct", "ring"):
-            raise ValueError(f"unknown AllReduce algorithm {algorithm!r}")
 
         total = np.sum(np.stack(arrays), axis=0, dtype=arrays[0].dtype)
         outs = [total.copy() for _ in range(world)]
+        if algorithm is None:
+            algorithm = "direct" if self.cluster.num_nodes == 1 else "ring"
+        if algorithm not in ("direct", "ring"):
+            # Non-legacy schedules: validate through the registry and run
+            # the matching timing-only schedule (same rounds, no payload
+            # re-walk — the functional result is already in ``outs``).
+            yield from self.all_reduce_bytes(
+                float(arrays[0].nbytes), int(arrays[0].size),
+                itemsize=arrays[0].dtype.itemsize, algorithm=algorithm)
+            return outs
         if world == 1:
             yield self.sim.timeout(self._launch_delay())
             return outs
@@ -229,7 +213,9 @@ class CollectiveLibrary:
 
         if algorithm == "direct":
             chunk_bytes = nbytes / world
-            chunk_elems = n_elems / world
+            # Same rounding as the timing-only path (all_reduce_bytes),
+            # so both spellings of one schedule report identical times.
+            chunk_elems = max(1, n_elems // world)
 
             def rank_proc(r):
                 if launch:
@@ -239,7 +225,7 @@ class CollectiveLibrary:
                        for dst in range(world) if dst != r]
                 yield self.sim.all_of(evs)
                 yield self.sim.timeout(self._reduce_time(
-                    r, int(chunk_elems), world, itemsize))
+                    r, chunk_elems, world, itemsize))
                 # Phase 2 — all-gather: broadcast my reduced chunk.
                 evs = [self._route(r, dst, chunk_bytes)
                        for dst in range(world) if dst != r]
@@ -250,14 +236,14 @@ class CollectiveLibrary:
 
         # Ring: 2(p-1) lock-stepped rounds of n/p chunks.
         chunk_bytes = nbytes / world
-        chunk_elems = n_elems / world
+        chunk_elems = max(1, n_elems // world)
 
         def ring_round(reduce_phase: bool):
             def rank_proc(r):
                 yield self._route(r, (r + 1) % world, chunk_bytes)
                 if reduce_phase:
                     yield self.sim.timeout(self._reduce_time(
-                        r, int(chunk_elems), 2, itemsize))
+                        r, chunk_elems, 2, itemsize))
             yield from self._run_ranks(rank_proc(r) for r in range(world))
 
         if launch:

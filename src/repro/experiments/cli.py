@@ -4,6 +4,7 @@ Subcommands::
 
     list [--json]             registered sweeps and their sizes
     platforms                 hardware catalog with derived quantities
+    algos                     collective-algorithm catalog + selector
     run SWEEP [SWEEP...]      execute sweeps (cache-aware, parallel)
     report SWEEP [SWEEP...]   render sweeps (fully-cached runs are instant)
     diff OLD NEW              compare two sweep report JSON files
@@ -30,7 +31,12 @@ from typing import List, Optional, Sequence
 from .registry import get_sweep, list_sweeps
 from .report import diff_reports, load_report, render_report, report_json
 from .execution import default_workers, run_sweep
-from .specs import BACKENDS, DEFAULT_BACKEND, sweep_with_backend
+from .specs import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    sweep_with_algo,
+    sweep_with_backend,
+)
 from .store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = ["main"]
@@ -109,6 +115,40 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algos(args: argparse.Namespace) -> int:
+    """Render the collective-algorithm catalog and selection heuristic."""
+    from ..collectives import (
+        PAIRWISE_MAX_BYTES,
+        TREE_MAX_BYTES,
+        algorithm_table,
+    )
+    rows = algorithm_table()
+    if getattr(args, "json", False):
+        print(json.dumps([
+            {"kind": kind, "name": name, "summary": summary}
+            for kind, name, summary in rows
+        ], indent=2, sort_keys=True))
+        return 0
+    width = max(len(name) for _k, name, _s in rows)
+    for kind in ("allreduce", "alltoall"):
+        print(f"{kind}:")
+        for k, name, summary in rows:
+            if k == kind:
+                print(f"  {name:<{width}}  {summary}")
+    print("\nauto-selection: single node -> direct/flat (fully-connected "
+          "fabric).")
+    print(f"AllReduce across nodes: <= {TREE_MAX_BYTES // 1024} KB is "
+          "overhead-bound -> hier (tree on 1-GPU nodes); larger -> ring.")
+    print(f"All-to-All across nodes: chunks <= {PAIRWISE_MAX_BYTES // 1024}"
+          " KB are message-rate-bound -> hier (pairwise on 1-GPU nodes); "
+          "larger -> flat.")
+    print("\nSelect per sweep with `run SWEEP --algo NAME` (or `auto`); "
+          "scenarios without an")
+    print("algo parameter keep the legacy schedule and their existing "
+          "cache keys.")
+    return 0
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     """Result-store hygiene: record count, bytes, per-sweep breakdown."""
     store = ResultStore(args.cache)
@@ -173,10 +213,13 @@ def _run_and_render(args: argparse.Namespace, expect_cached: bool) -> int:
         Path(report_dir).mkdir(parents=True, exist_ok=True)
     status = 0
     backend = getattr(args, "backend", None)
+    algo = getattr(args, "algo", None)
     for name in _resolve_names(args.sweeps):
         sweep = get_sweep(name)
         if backend is not None:
             sweep = sweep_with_backend(sweep, backend)
+        if algo is not None:
+            sweep = sweep_with_algo(sweep, algo)
         print(f"== {name} ({len(sweep)} scenarios) ==", file=sys.stderr)
         run = run_sweep(sweep, store=store, workers=args.workers,
                         force=args.force,
@@ -219,6 +262,13 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
         help="evaluation engine for every scenario (default: whatever the "
              f"sweep declares, usually {DEFAULT_BACKEND!r}; 'analytic' is "
              "the closed-form backend and re-keys the cache records)")
+    parser.add_argument(
+        "--algo", default=None,
+        help="collective-algorithm schedule for every scenario (a "
+             "`python -m repro algos` name, or 'auto' for the "
+             "size/topology selector; re-keys the cache records). Only "
+             "collective-bearing sweeps accept it — runners without a "
+             "baseline collective reject the parameter.")
 
 
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
@@ -251,6 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
         "platforms",
         help="list the hardware platform catalog (derived quantities)"
     ).set_defaults(fn=_cmd_platforms)
+
+    p_algos = sub.add_parser(
+        "algos",
+        help="list the collective-algorithm catalog and selection "
+             "heuristic")
+    p_algos.add_argument("--json", action="store_true",
+                         help="machine-readable listing")
+    p_algos.set_defaults(fn=_cmd_algos)
 
     p_run = sub.add_parser("run", help="execute sweeps")
     p_run.add_argument("sweeps", nargs="+",

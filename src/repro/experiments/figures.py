@@ -73,8 +73,10 @@ __all__ = [
     "ablation_zero_copy_sweep", "ablation_cpu_proxy_sweep",
     "ext_embedding_backward_sweep", "smoke_sweep", "xhw_embedding_a2a_sweep",
     "xhw_gemv_allreduce_sweep", "xhw_gemm_a2a_sweep", "xhw_scaleout_sweep",
-    "xhw_smoke_sweep", "XHW_PLATFORMS", "dse_fused_frontier_sweep",
-    "dse_smoke_sweep", "DSE_PLATFORMS",
+    "xhw_smoke_sweep", "XHW_PLATFORMS", "xalgo_allreduce_sweep",
+    "xalgo_alltoall_sweep", "xalgo_smoke_sweep", "XALGO_ALLREDUCE",
+    "XALGO_ALLTOALL", "dse_fused_frontier_sweep", "dse_smoke_sweep",
+    "DSE_PLATFORMS", "DSE_ALGOS",
 ]
 
 
@@ -103,6 +105,22 @@ def _platform_param(platform: PlatformLike):
     """
     return get_platform(platform).param()
 
+def _reject_algo(p: Dict[str, Any], runner: str) -> None:
+    """Fail fast when an ``algo`` parameter reaches a runner with no
+    baseline collective to schedule.
+
+    Without this, a sweep-wide ``--algo`` (or a typo'd param) would
+    either crash deep inside an analytic twin or — worse — run the
+    scenario unchanged and cache an identical result under a new key.
+    """
+    if "algo" in p:
+        raise ValueError(
+            f"runner {runner!r} has no baseline collective; the 'algo' "
+            f"parameter does not apply (drop --algo / the algo param, "
+            f"or use a collective-bearing sweep — see "
+            f"`python -m repro algos`)")
+
+
 #: Hidden-scenario convention: labels starting with this prefix feed a
 #: figure's ``extra`` statistics but do not appear as rows.
 HIDDEN = "_"
@@ -130,8 +148,11 @@ def _embedding_a2a_pair(params: Dict[str, Any]) -> Dict[str, Any]:
     platform = p.pop("platform", None)
     baseline = p.pop("baseline", None)
     cfg = EmbeddingA2AConfig(functional=False, **p)
+    # The baseline override inherits the collective schedule unless it
+    # names its own (the algo axis compares like against like).
     base_cfg = (cfg if baseline is None
-                else EmbeddingA2AConfig(functional=False, **baseline))
+                else EmbeddingA2AConfig(functional=False,
+                                        **{"algo": cfg.algo, **baseline}))
     row = compare(cfg.label,
                   lambda h: FusedEmbeddingAllToAll(h, cfg),
                   lambda h: BaselineEmbeddingAllToAll(h, base_cfg),
@@ -216,6 +237,7 @@ def _embedding_grad_pair(params: Dict[str, Any]) -> Dict[str, Any]:
 def _wg_timeline(params: Dict[str, Any]) -> Dict[str, Any]:
     """Fig. 11's traced run; mirrors ``bench.figures.fig11_wg_timeline``."""
     p = dict(params)
+    _reject_algo(p, "wg_timeline")
     if _scenario_backend(p) == "analytic":
         from ..analytic import predict_wg_timeline
         return predict_wg_timeline(**p)
@@ -263,6 +285,7 @@ def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
     # backends share it and agree exactly; the backend parameter only
     # distinguishes the store keys.
     p = dict(params)
+    _reject_algo(p, "dlrm_scaleout")
     _scenario_backend(p)
     r = run_dlrm_scaleout(p["num_nodes"], platform=p.get("platform"))
     return {
@@ -277,6 +300,7 @@ def _dlrm_scaleout(params: Dict[str, Any]) -> Dict[str, Any]:
 def _table_setup(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..bench.figures import table1_setup, table2_setup
     p = dict(params)
+    _reject_algo(p, "table_setup")
     _scenario_backend(p)  # table rendering is closed-form on either engine
     which = p["which"]
     if which == "table1":
@@ -379,6 +403,37 @@ def _assemble_sched_skew(sweep: SweepSpec, specs, results, figure: str = "",
 def _platform_display(value) -> str:
     """Display name of a canonical ``platform`` scenario parameter."""
     return value if isinstance(value, str) else value.get("name", "custom")
+
+
+@assembler("xalgo")
+def _assemble_xalgo(sweep: SweepSpec, specs, results, figure: str = "",
+                    description: str = "") -> FigureResult:
+    """Algorithm-axis semantics: one fused/baseline row per (schedule,
+    workload) point, plus the cross-schedule aggregates.
+
+    ``baseline_us_by_algo`` reports the mean baseline collective+compute
+    time per schedule; ``best_algo_by_point`` names the winning schedule
+    per workload point — the "which schedule wins where" answer the
+    sweep exists for.
+    """
+    res = FigureResult(figure or sweep.title,
+                       description or sweep.description)
+    by_algo: Dict[str, List[float]] = {}
+    by_point: Dict[str, Dict[str, float]] = {}
+    for spec, result in _visible(specs, results):
+        res.add(Row(label=spec.label, fused_time=result["fused_time"],
+                    baseline_time=result["baseline_time"]))
+        algo = spec.params.get("algo", "default")
+        point = spec.label.split(" ", 1)[-1]
+        by_algo.setdefault(algo, []).append(result["baseline_time"])
+        by_point.setdefault(point, {})[algo] = result["baseline_time"]
+    res.extra["baseline_us_by_algo"] = {
+        algo: round(1e6 * sum(v) / len(v), 3)
+        for algo, v in sorted(by_algo.items())}
+    res.extra["best_algo_by_point"] = {
+        point: min(times, key=times.get)
+        for point, times in sorted(by_point.items())}
+    return res
 
 
 @assembler("xhw")
@@ -878,6 +933,70 @@ def xhw_smoke_sweep(name: str = "xhw-smoke") -> SweepSpec:
 
 
 # ----------------------------------------------------------------------
+# Collective-algorithm sweeps: the schedule menu as a sweep axis.
+# ----------------------------------------------------------------------
+
+#: AllReduce schedules the algorithm sweeps grid over (single node, so
+#: ``hier`` would just collapse onto ``direct`` — exercised by the
+#: multi-node equivalence tests instead).
+XALGO_ALLREDUCE: Tuple[str, ...] = ("direct", "ring", "tree")
+#: All-to-All schedules on the 2x2 shape, where all three differ.
+XALGO_ALLTOALL: Tuple[str, ...] = ("flat", "pairwise", "hier")
+XALGO_GEMV_GRID: Tuple[Tuple[int, int], ...] = ((8192, 8192),
+                                                (65536, 8192))
+XALGO_EMB_GRID: Tuple[Tuple[int, int], ...] = ((1024, 64), (4096, 256))
+
+
+def xalgo_allreduce_sweep(grid=XALGO_GEMV_GRID, world: int = 4,
+                          algos: Sequence[str] = XALGO_ALLREDUCE,
+                          platform: PlatformLike = None,
+                          name: str = "xalgo_allreduce") -> SweepSpec:
+    """GEMV+AllReduce (Fig. 9 operator) across baseline AllReduce
+    schedules: the fused operator vs each :mod:`repro.collectives`
+    algorithm's bulk collective."""
+    scenarios = [
+        scenario("gemv_allreduce_pair",
+                 label=f"{algo} "
+                       f"{GemvAllReduceConfig(m=m, n_per_gpu=n // world, functional=False).label}",
+                 m=m, n_per_gpu=n // world, world=world,
+                 platform=_platform_param(platform)).with_algo(algo)
+        for algo in algos
+        for m, n in grid
+    ]
+    return SweepSpec.make(
+        name, "Algorithms", scenarios, assembler="xalgo",
+        figure="Collective algorithms: AllReduce",
+        description="fused GEMV+AllReduce vs per-schedule baselines")
+
+
+def xalgo_alltoall_sweep(grid=XALGO_EMB_GRID, num_nodes: int = 2,
+                         gpus_per_node: int = 2,
+                         algos: Sequence[str] = XALGO_ALLTOALL,
+                         platform: PlatformLike = None,
+                         name: str = "xalgo_alltoall") -> SweepSpec:
+    """Embedding+A2A (Fig. 8/12 operator) on a 2-node x 2-GPU cluster
+    across baseline All-to-All schedules (the shape where flat, pairwise
+    and hierarchical genuinely differ)."""
+    scenarios = [
+        scenario("embedding_a2a_pair", label=f"{algo} {batch}|{tables}",
+                 global_batch=batch, tables_per_gpu=tables,
+                 num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                 platform=_platform_param(platform)).with_algo(algo)
+        for algo in algos
+        for batch, tables in grid
+    ]
+    return SweepSpec.make(
+        name, "Algorithms", scenarios, assembler="xalgo",
+        figure="Collective algorithms: All-to-All",
+        description="fused embedding+A2A vs per-schedule baselines")
+
+
+def xalgo_smoke_sweep(name: str = "xalgo-smoke") -> SweepSpec:
+    """One workload x three AllReduce schedules for CI cache checks."""
+    return xalgo_allreduce_sweep(grid=((8192, 8192),), name=name)
+
+
+# ----------------------------------------------------------------------
 # Design-space exploration: large analytic grids + Pareto frontiers.
 # ----------------------------------------------------------------------
 
@@ -890,6 +1009,12 @@ DSE_TABLES: Tuple[int, ...] = (16, 64, 256)
 DSE_SLICES: Tuple[int, ...] = (16, 32, 64)
 DSE_OCCUPANCIES: Tuple[float, ...] = (0.25, 0.5, 0.75)
 DSE_TOPOLOGIES: Tuple[Tuple[int, int], ...] = ((1, 4), (2, 1))
+#: Baseline collective-schedule axis.  ``None`` is the legacy flat
+#: schedule (keeping those scenarios' store keys identical to the
+#: pre-algo grid); ``"pairwise"`` genuinely differs on both default
+#: topologies.  Hierarchical schedules collapse to flat on 1-GPU or
+#: 1-node shapes, so they live in ``xalgo_alltoall``'s 2x2 sweep.
+DSE_ALGOS: Tuple[Optional[str], ...] = (None, "pairwise")
 
 
 def dse_fused_frontier_sweep(name: str = "dse_fused_frontier",
@@ -901,11 +1026,13 @@ def dse_fused_frontier_sweep(name: str = "dse_fused_frontier",
                              occupancies: Sequence[float] = DSE_OCCUPANCIES,
                              topologies: Sequence[Tuple[int, int]]
                              = DSE_TOPOLOGIES,
+                             algos: Sequence[Optional[str]] = DSE_ALGOS,
                              backend: str = "analytic") -> SweepSpec:
     """Fused embedding+A2A design space: platform x batch x tables x
-    slice size x occupancy split x topology, Pareto-assembled.
+    slice size x occupancy split x topology x collective schedule,
+    Pareto-assembled.
 
-    The default grid is ~1,300 scenarios — minutes-per-point under the
+    The default grid is ~2,600 scenarios — minutes-per-point under the
     DES, a handful of seconds end to end under the analytic backend.
     """
     scenarios = []
@@ -916,15 +1043,21 @@ def dse_fused_frontier_sweep(name: str = "dse_fused_frontier",
                 for tb in tables:
                     for sv in slices:
                         for occ in occupancies:
-                            s = scenario(
-                                "embedding_a2a_pair",
-                                label=(f"{pname} {num_nodes}x{gpus_per_node}"
-                                       f" {batch}|{tb} sv{sv} occ{occ}"),
-                                global_batch=batch, tables_per_gpu=tb,
-                                slice_vectors=sv, occupancy_of_baseline=occ,
-                                num_nodes=num_nodes,
-                                gpus_per_node=gpus_per_node, platform=pp)
-                            scenarios.append(s.with_backend(backend))
+                            for algo in algos:
+                                suffix = f" {algo}" if algo else ""
+                                s = scenario(
+                                    "embedding_a2a_pair",
+                                    label=(f"{pname} "
+                                           f"{num_nodes}x{gpus_per_node}"
+                                           f" {batch}|{tb} sv{sv} occ{occ}"
+                                           f"{suffix}"),
+                                    global_batch=batch, tables_per_gpu=tb,
+                                    slice_vectors=sv,
+                                    occupancy_of_baseline=occ,
+                                    num_nodes=num_nodes,
+                                    gpus_per_node=gpus_per_node, platform=pp)
+                                scenarios.append(
+                                    s.with_backend(backend).with_algo(algo))
     return SweepSpec.make(
         name, "DSE", scenarios, assembler="dse_frontier", figure="DSE",
         description="fused embedding+A2A design-space frontier "
@@ -978,6 +1111,9 @@ ALL_SWEEPS: Tuple[SweepSpec, ...] = tuple(register_sweep(s) for s in (
     xhw_gemm_a2a_sweep(),
     xhw_scaleout_sweep(),
     xhw_smoke_sweep(),
+    xalgo_allreduce_sweep(),
+    xalgo_alltoall_sweep(),
+    xalgo_smoke_sweep(),
     dse_fused_frontier_sweep(),
     dse_smoke_sweep(),
     smoke_sweep(),

@@ -20,7 +20,7 @@ import hashlib
 import json
 from dataclasses import dataclass, replace
 from itertools import product
-from typing import Any, Dict, Iterator, List, Mapping, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -33,6 +33,7 @@ __all__ = [
     "zip_params",
     "scenario",
     "sweep_with_backend",
+    "sweep_with_algo",
 ]
 
 #: Version of the scenario/record schema.  Bump whenever a change to the
@@ -116,6 +117,27 @@ class ScenarioSpec:
     def backend(self) -> str:
         return self.params.get("backend", DEFAULT_BACKEND)
 
+    def with_algo(self, algo: Optional[str]) -> "ScenarioSpec":
+        """Copy pinned to a collective-algorithm schedule.
+
+        ``algo`` is a :mod:`repro.collectives` name (or ``"auto"``);
+        ``None`` — the default schedule — *removes* the parameter, so
+        specs that never touched the algo axis keep exactly the store
+        keys they had before it existed (the ``backend`` pattern).
+        Names are validated by the runner (via the workload config)
+        before anything executes or caches.
+        """
+        params = self.params
+        if algo is None:
+            params.pop("algo", None)
+        else:
+            params["algo"] = algo
+        return replace(self, params_json=canonical_json(params))
+
+    @property
+    def algo(self) -> Optional[str]:
+        return self.params.get("algo")
+
     def key(self) -> str:
         """Stable content hash of (schema version, runner, params).
 
@@ -197,6 +219,14 @@ def sweep_with_backend(sweep: "SweepSpec", backend: str) -> "SweepSpec":
     sweep (and its cached results) exactly.
     """
     return replace(sweep, scenarios=tuple(s.with_backend(backend)
+                                          for s in sweep.scenarios))
+
+
+def sweep_with_algo(sweep: "SweepSpec", algo: Optional[str]) -> "SweepSpec":
+    """The same sweep with every scenario pinned to collective schedule
+    ``algo`` (``None`` strips the parameter, recovering the original
+    sweep — and its cached results — exactly)."""
+    return replace(sweep, scenarios=tuple(s.with_algo(algo)
                                           for s in sweep.scenarios))
 
 

@@ -73,9 +73,14 @@ class EmbeddingA2AConfig:
     scheduler: str = "comm_aware"
     occupancy_of_baseline: Optional[float] = None  #: Fig. 13 x-axis knob
     zero_copy: bool = True           #: direct peer stores for same-node dests
+    #: Baseline All-to-All schedule (:mod:`repro.collectives` name or
+    #: ``"auto"``); ``None`` keeps the legacy flat RCCL-like schedule.
+    algo: Optional[str] = None
     seed: int = 0
 
     def validate(self, world: int) -> None:
+        from ..collectives import check_algo
+        check_algo("alltoall", self.algo)
         if self.global_batch < 1 or self.tables_per_gpu < 1:
             raise ValueError("batch and tables must be >= 1")
         if self.global_batch % world:
@@ -392,5 +397,6 @@ class BaselineEmbeddingAllToAll:
             return [o.transpose(1, 0, 2, 3).reshape(
                 local, world * cfg.tables_per_gpu, cfg.dim) for o in outs]
         chunk = float(local * cfg.tables_per_gpu * cfg.dim * ITEMSIZE)
-        yield from self.comm.collectives.all_to_all_bytes(chunk)
+        yield from self.comm.collectives.all_to_all_bytes(
+            chunk, algorithm=cfg.algo)
         return None

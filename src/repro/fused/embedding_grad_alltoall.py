@@ -274,7 +274,8 @@ class BaselineEmbeddingGradAllToAll:
         local = cfg.local_batch(world)
         t_per = cfg.tables_per_gpu
         chunk = float(local * t_per * cfg.dim * ITEMSIZE)
-        yield from self.comm.collectives.all_to_all_bytes(chunk)
+        yield from self.comm.collectives.all_to_all_bytes(
+            chunk, algorithm=cfg.algo)
 
         # Scatter-add kernel: one logical WG per gradient vector.
         n_vectors = cfg.global_batch * t_per

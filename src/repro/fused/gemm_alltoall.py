@@ -56,9 +56,14 @@ class GemmA2AConfig:
     flop_dtype: str = "fp16"
     functional: bool = True
     scheduler: str = "comm_aware"
+    #: Baseline All-to-All schedule (:mod:`repro.collectives` name or
+    #: ``"auto"``); ``None`` keeps the legacy flat RCCL-like schedule.
+    algo: Optional[str] = None
     seed: int = 0
 
     def validate(self, world: int) -> None:
+        from ..collectives import check_algo
+        check_algo("alltoall", self.algo)
         if min(self.tokens, self.model_dim, self.ffn_dim) < 1:
             raise ValueError("all GEMM dims must be >= 1")
         if self.tokens % (world * self.block_m):
@@ -341,7 +346,8 @@ class BaselineGemmAllToAll:
 
         tps = cfg.tokens_per_src(world)
         chunk = float(tps * cfg.ffn_dim * cfg.itemsize)
-        yield from self.comm.collectives.all_to_all_bytes(chunk)
+        yield from self.comm.collectives.all_to_all_bytes(
+            chunk, algorithm=cfg.algo)
         if cfg.functional:
             return [np.stack([outputs[r][s * tps:(s + 1) * tps]
                               for r in range(world)])

@@ -63,9 +63,14 @@ class GemvAllReduceConfig:
     flop_dtype: str = "fp16"
     functional: bool = True
     scheduler: str = "comm_aware"
+    #: Baseline AllReduce schedule (:mod:`repro.collectives` name or
+    #: ``"auto"``); ``None`` keeps the paper's direct two-phase schedule.
+    algo: Optional[str] = None
     seed: int = 0
 
     def validate(self, world: int) -> None:
+        from ..collectives import check_algo
+        check_algo("allreduce", self.algo)
         if self.m < 1 or self.n_per_gpu < 1:
             raise ValueError("m and n_per_gpu must be >= 1")
         if self.m % (world * self.tile_rows):
@@ -347,7 +352,7 @@ class BaselineGemvAllReduce:
         # computed in fp32 on the side (matching the fused operator).
         yield from self.comm.collectives.all_reduce_bytes(
             float(cfg.m * cfg.itemsize), cfg.m, itemsize=cfg.itemsize,
-            algorithm="direct")
+            algorithm=cfg.algo or "direct")
         if cfg.functional:
             total = np.sum(np.stack(partials), axis=0)
             return [total.copy() for _ in range(world)]

@@ -34,6 +34,14 @@ class Node:
 
     def __post_init__(self):
         for g in self.gpus:
+            if g.nic is not None and g.nic is not self.nic:
+                # Silently re-pointing a reused Gpu's NIC would reroute
+                # its RDMA traffic through the newest node ever built —
+                # and corrupt the older node's timing behind its back.
+                raise ValueError(
+                    f"GPU {g.gpu_id} already belongs to node "
+                    f"{g.nic.node_id}'s NIC; build each node (and "
+                    f"cluster) with fresh Gpu objects")
             g.nic = self.nic
 
 

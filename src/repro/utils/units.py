@@ -7,7 +7,7 @@ These exist so hardware specs read like their datasheets
 from __future__ import annotations
 
 __all__ = [
-    "KB", "MB", "GB",
+    "KB", "MB", "GB", "TB",
     "KIB", "MIB", "GIB",
     "NS", "US", "MS",
     "GB_PER_S", "GBIT_PER_S",
@@ -24,6 +24,7 @@ TERA = 1e12
 KB = 1e3
 MB = 1e6
 GB = 1e9
+TB = 1e12
 # Binary byte sizes (memory capacity convention).
 KIB = 1024.0
 MIB = 1024.0 ** 2
@@ -39,7 +40,7 @@ GBIT_PER_S = 1e9 / 8.0    # bits-per-second link quoted in bytes per second
 
 def fmt_bytes(n: float) -> str:
     """Human-readable byte count (decimal units)."""
-    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
         if abs(n) >= unit:
             return f"{n / unit:.2f} {name}"
     return f"{n:.0f} B"
@@ -47,6 +48,8 @@ def fmt_bytes(n: float) -> str:
 
 def fmt_time(t: float) -> str:
     """Human-readable duration."""
+    if t == 0:
+        return "0 s"
     if abs(t) >= 1.0:
         return f"{t:.3f} s"
     if abs(t) >= MS:

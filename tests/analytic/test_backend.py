@@ -163,7 +163,7 @@ def test_dse_fused_frontier_is_registered_and_large():
 def test_dse_smoke_runs_and_assembles():
     run = run_sweep(get_sweep("dse-smoke"), store=None)
     fig = run.figure()
-    assert fig.extra["n_scenarios"] == 8
+    assert fig.extra["n_scenarios"] == 16  # 8 points x 2 algos
     assert 1 <= fig.extra["n_frontier"] <= 8
     assert fig.rows
     # Frontier rows must come from the grid and be non-dominated within

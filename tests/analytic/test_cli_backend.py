@@ -48,18 +48,19 @@ def test_cache_stats_counts_records(tmp_path, capsys):
     capsys.readouterr()
     assert main(["cache", "stats", "--cache", str(cache), "--json"]) == 0
     stats = json.loads(capsys.readouterr().out)
-    # 8 scenario records + 1 sweep-level figure record.
-    assert stats["records"] == 9
+    # 16 scenario records (8 points x 2 algos) + 1 sweep-level
+    # figure record.
+    assert stats["records"] == 17
     assert stats["bytes"] > 0
     by_sweep = {row["sweep"]: row for row in stats["sweeps"]}
-    assert by_sweep["dse-smoke"]["records"] == 9
-    assert by_sweep["dse-smoke"]["scenarios"] == 8
+    assert by_sweep["dse-smoke"]["records"] == 17
+    assert by_sweep["dse-smoke"]["scenarios"] == 16
     assert by_sweep["fig8"]["records"] == 0
     assert stats["other_records"] == 0
 
     assert main(["cache", "stats", "--cache", str(cache)]) == 0
     text = capsys.readouterr().out
-    assert "9 record(s)" in text
+    assert "17 record(s)" in text
     assert "dse-smoke" in text
 
 

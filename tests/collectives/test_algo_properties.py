@@ -1,0 +1,73 @@
+"""Hypothesis properties of the collective-algorithm closed forms.
+
+* **hierarchical <= flat once the NIC's message pipeline is the
+  bottleneck** — staging trades ``gpus_per_node``-fold fewer NIC
+  messages for one fabric hop, so deep in the message-rate-bound regime
+  (TX overhead at least twice every other term) it can only win.
+* **ring AllReduce is monotone in message size** — more bytes never
+  predict less time, on any shape.
+* **selected-by-auto is never worse than the legacy default** at the
+  selector's own operating points (the heuristic must not pessimize).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import CommModel
+from repro.collectives import CommTopology, select_alltoall
+from repro.hw.platform import get_platform
+
+_NIC = get_platform("mi210").nic
+
+shapes = st.tuples(st.integers(min_value=2, max_value=8),
+                   st.integers(min_value=2, max_value=8))
+
+
+@given(shape=shapes,
+       chunk=st.floats(min_value=8.0, max_value=16384.0))
+@settings(max_examples=60, deadline=None)
+def test_hier_alltoall_beats_flat_when_message_bound(shape, chunk):
+    num_nodes, gpus_per_node = shape
+    n_flat = gpus_per_node * (num_nodes * gpus_per_node - gpus_per_node)
+    wire = chunk / _NIC.bandwidth
+    mo = _NIC.message_overhead
+    # Deep message-rate-bound regime: the flat incast's TX-overhead chain
+    # dominates its wire stage with a 2x margin (right at the boundary
+    # the extra fabric hop is not yet amortized — genuinely a wash).
+    assume(n_flat * mo >= 2 * (mo + n_flat * wire))
+    cm = CommModel("mi210", num_nodes=num_nodes,
+                   gpus_per_node=gpus_per_node)
+    assert cm.alltoall_time(chunk, algo="hier") <= \
+        cm.alltoall_time(chunk, algo="flat") * (1 + 1e-9)
+
+
+@given(shape=st.tuples(st.integers(min_value=1, max_value=8),
+                       st.integers(min_value=1, max_value=8)),
+       n_elems=st.integers(min_value=64, max_value=1 << 22),
+       factor=st.floats(min_value=1.0, max_value=64.0))
+@settings(max_examples=80, deadline=None)
+def test_ring_allreduce_monotone_in_message_size(shape, n_elems, factor):
+    num_nodes, gpus_per_node = shape
+    assume(num_nodes * gpus_per_node >= 2)
+    cm = CommModel("mi210", num_nodes=num_nodes,
+                   gpus_per_node=gpus_per_node)
+    small = cm.allreduce_time(float(4 * n_elems), n_elems, algo="ring")
+    bigger_elems = int(n_elems * factor)
+    big = cm.allreduce_time(float(4 * bigger_elems), bigger_elems,
+                            algo="ring")
+    assert big >= small * (1 - 1e-9)
+
+
+@given(shape=shapes,
+       chunk=st.floats(min_value=8.0, max_value=float(1 << 24)))
+@settings(max_examples=60, deadline=None)
+def test_auto_alltoall_never_pessimizes_the_default(shape, chunk):
+    num_nodes, gpus_per_node = shape
+    topo = CommTopology(num_nodes, gpus_per_node)
+    picked = select_alltoall(topo, chunk)
+    cm = CommModel("mi210", num_nodes=num_nodes,
+                   gpus_per_node=gpus_per_node)
+    # The heuristic's operating points are coarse; hold it to "within 5%
+    # of the legacy flat schedule or better" rather than exact argmin.
+    assert cm.alltoall_time(chunk, algo=picked) <= \
+        cm.alltoall_time(chunk, algo="flat") * 1.05

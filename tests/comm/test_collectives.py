@@ -128,7 +128,7 @@ def test_allreduce_validation():
         run(sim2, lib2.all_reduce([np.zeros(4), np.zeros(4), np.zeros(4),
                                    np.zeros(5)]))
     sim3, _c, lib3 = make()
-    with pytest.raises(ValueError, match="algorithm"):
+    with pytest.raises(KeyError, match="unknown AllReduce algorithm"):
         run(sim3, lib3.all_reduce([np.zeros(4)] * 4, algorithm="magic"))
 
 

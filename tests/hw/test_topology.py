@@ -176,3 +176,37 @@ def test_single_node_cluster_has_no_network():
     cluster = build_cluster(sim, num_nodes=1, gpus_per_node=4)
     assert cluster.network is None
     assert cluster.nodes[0].nic.network is None
+
+
+# ---------------------------------------------------------------------------
+# Node construction
+# ---------------------------------------------------------------------------
+
+def test_node_rejects_gpus_already_attached_to_another_nic():
+    """Regression: ``Node.__post_init__`` used to silently re-point
+    ``gpu.nic`` when a Gpu object was reused across builds, rerouting the
+    first node's RDMA traffic through the new node's NIC."""
+    from repro.hw.fabric import Fabric
+    from repro.hw.nic import Nic
+    from repro.hw.topology import Node
+
+    sim = Simulator()
+    spec = mi210_node_spec(num_gpus=2)
+    first = build_node(sim, spec, node_id=0)
+    other_nic = Nic(sim, spec.nic, node_id=1)
+    with pytest.raises(ValueError, match="already belongs to node 0"):
+        Node(node_id=1, gpus=first.gpus,
+             fabric=Fabric(sim, first.gpus, spec.link), nic=other_nic)
+    # The original wiring is untouched.
+    assert all(g.nic is first.nic for g in first.gpus)
+
+
+def test_node_accepts_rebuild_with_same_nic():
+    sim = Simulator()
+    spec = mi210_node_spec(num_gpus=2)
+    node = build_node(sim, spec, node_id=0)
+    from repro.hw.fabric import Fabric
+    from repro.hw.topology import Node
+    # Re-wrapping the same GPUs with the *same* NIC is legal (idempotent).
+    Node(node_id=0, gpus=node.gpus,
+         fabric=Fabric(sim, node.gpus, spec.link), nic=node.nic)

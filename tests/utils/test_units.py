@@ -47,7 +47,11 @@ def test_bandwidth_conventions():
     (1536.0, "1.54 KB"),
     (1e6, "1.00 MB"),
     (2.5e9, "2.50 GB"),
-    (1e13, "10000.00 GB"),
+    # Regression: TB-scale values used to print as e.g. "2500.00 GB"
+    # because fmt_bytes had no TB rung.
+    (2.5e12, "2.50 TB"),
+    (1e13, "10.00 TB"),
+    (999.99e9, "999.99 GB"),
 ])
 def test_fmt_bytes(n, expected):
     assert fmt_bytes(n) == expected
@@ -59,7 +63,10 @@ def test_fmt_bytes_negative_magnitude():
 
 
 @pytest.mark.parametrize("t, expected", [
-    (0.0, "0.0 ns"),
+    # Regression: a zero duration used to render as the nonsensical
+    # "0.0 ns" (zero has no natural scale; render it unitless-clean).
+    (0.0, "0 s"),
+    (-0.0, "0 s"),
     (1.0, "1.000 s"),
     (2.5, "2.500 s"),
     (1e-3, "1.000 ms"),
