@@ -43,6 +43,8 @@ N_ANALYTIC = 512
 #: Scenario evaluations per repetition in the collective-algorithm
 #: throughput measurement (cycling the schedule menu, both collectives).
 N_COLLECTIVE = 600
+#: Scenario rows per repetition in the vectorized mega-batch measurement.
+N_BATCH = 250_000
 #: The DES scenario the engine-speedup ratio is measured against.
 RATIO_SCENARIO = dict(m=8192, n_per_gpu=2048, world=4)
 
@@ -96,6 +98,31 @@ def _analytic_scenarios_per_sec() -> float:
     return N_ANALYTIC / wall
 
 
+def _analytic_batch_scenarios_per_sec() -> float:
+    """Evaluate ``N_BATCH`` distinct embedding+A2A scenarios through the
+    vectorized mega-batch engine (column construction included); the
+    million-point design-space grids ride on this path."""
+    import numpy as np
+    from repro.analytic.batch import ScenarioBatch
+
+    rng = np.random.default_rng(20240807)
+    cols = {
+        "global_batch": 512 * rng.integers(1, 19, N_BATCH),
+        "tables_per_gpu": 8 * rng.integers(1, 33, N_BATCH),
+        "slice_vectors": 2 ** rng.integers(3, 7, N_BATCH),
+    }
+
+    def run_batch():
+        batch = ScenarioBatch.from_columns(
+            "embedding_a2a_pair", cols,
+            structural={"num_nodes": 2, "gpus_per_node": 1,
+                        "platform": BENCH_PLATFORM.name})
+        batch.evaluate()
+
+    _, wall = time_call(run_batch, repeats=BEST_OF)
+    return N_BATCH / wall
+
+
 def _collective_algo_scenarios_per_sec() -> float:
     """Evaluate the collective-algorithm library's closed forms across
     the schedule menu (the `algo` sweep axis); scenarios per second."""
@@ -144,6 +171,15 @@ def test_analytic_backend_throughput():
         f"analytic/DES speedup collapsed: {analytic / des:.0f}x")
 
 
+def test_analytic_batch_throughput():
+    """The mega-batch engine's headline contract: at least a million
+    scenarios per wall-second through the columnar path (the scalar
+    analytic backend manages tens of thousands)."""
+    per_sec = _analytic_batch_scenarios_per_sec()
+    assert per_sec > 1_000_000, (
+        f"mega-batch engine below contract: {per_sec:,.0f} scenarios/s")
+
+
 def test_collective_algo_throughput():
     """The algorithm library's closed forms must stay sweep-grade fast
     (the dse algo axis multiplies every grid by the schedule menu)."""
@@ -176,6 +212,7 @@ def test_fastpath_speedup_and_report(monkeypatch):
     analytic = _analytic_scenarios_per_sec()
     des = _des_scenarios_per_sec()
     collective = _collective_algo_scenarios_per_sec()
+    batch = _analytic_batch_scenarios_per_sec()
     payload = {
         # "platform" is the host OS string (write_bench_report);
         # "hw_platform" names the simulated hardware catalog entry.
@@ -185,6 +222,7 @@ def test_fastpath_speedup_and_report(monkeypatch):
         "kernel_wgs_per_sec_slowpath": round(slow),
         "fastpath_speedup": round(speedup, 1),
         "analytic_scenarios_per_sec": round(analytic),
+        "analytic_batch_scenarios_per_sec": round(batch),
         "des_scenarios_per_sec": round(des, 2),
         "analytic_over_des_speedup": round(analytic / des),
         "collective_algos_scenarios_per_sec": round(collective),

@@ -22,9 +22,21 @@ contention knee fitted once against the paper's Fig. 13 on the MI210 (see
 are exactly as (un)calibrated as their DES counterparts.
 """
 
+from .batch import (
+    ScenarioBatch,
+    batch_runners,
+    batch_supported,
+    evaluate_batch_records,
+)
 from .comm import CommModel
 from .device import DeviceModel, device_model
-from .explorer import dominates, pareto_frontier
+from .explorer import (
+    dominates,
+    pareto_frontier,
+    pareto_frontier_legacy,
+    pareto_mask,
+    refine,
+)
 from .ops import (
     predict_dlrm_scaleout,
     predict_embedding_a2a,
@@ -38,9 +50,16 @@ from .ops import (
 __all__ = [
     "CommModel",
     "DeviceModel",
+    "ScenarioBatch",
+    "batch_runners",
+    "batch_supported",
     "device_model",
     "dominates",
+    "evaluate_batch_records",
     "pareto_frontier",
+    "pareto_frontier_legacy",
+    "pareto_mask",
+    "refine",
     "predict_dlrm_scaleout",
     "predict_embedding_a2a",
     "predict_embedding_fused",

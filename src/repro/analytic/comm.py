@@ -20,7 +20,18 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..collectives import CommTopology, resolve_allreduce, resolve_alltoall
+from ..collectives.base import (
+    AUTO,
+    PAIRWISE_MAX_BYTES,
+    TREE_MAX_BYTES,
+    default_allreduce,
+    default_alltoall,
+    get_allreduce,
+    get_alltoall,
+)
 from ..comm.collectives import BLIT_EFFICIENCY
 from ..comm.shmem import FLAG_BYTES, ShmemContext
 from ..hw.platform import PlatformLike, get_platform
@@ -165,3 +176,140 @@ class CommModel:
         """Mirror of ``all_reduce_bytes(algorithm="direct")``: launch,
         reduce-scatter phase, local reduction, all-gather phase."""
         return self.allreduce_time(nbytes, n_elems, itemsize, algo="direct")
+
+    # -- vectorized twins ----------------------------------------------------
+    # Array-over-the-scenario-axis forms of the closed forms above.  The
+    # cluster shape (and hence ``remote_node`` at every call site) is
+    # uniform over a batch; byte counts are the scenario columns.  Every
+    # expression replicates the scalar method's operation order, so the
+    # results are elementwise bit-identical.
+
+    def fabric_put_time_batch(self, nbytes, flows: int = 1) -> np.ndarray:
+        return (self.link.latency
+                + nbytes * max(flows, 1) / self.link.bandwidth)
+
+    def rdma_put_time_batch(self, nbytes) -> np.ndarray:
+        return (self._proxy_latency() + self.nic.message_overhead
+                + self.nic.latency + nbytes / self.nic.bandwidth)
+
+    def put_time_batch(self, nbytes, remote_node: bool) -> np.ndarray:
+        return (self.rdma_put_time_batch(nbytes) if remote_node
+                else self.fabric_put_time_batch(nbytes))
+
+    def drain_time_batch(self, total_bytes, n_messages,
+                         remote_node: bool) -> np.ndarray:
+        if remote_node:
+            return np.maximum(total_bytes / self.nic.bandwidth,
+                              n_messages * self.nic.message_overhead)
+        return total_bytes / self.link.bandwidth
+
+    def signal_tail_batch(self, nbytes, remote_node: bool) -> np.ndarray:
+        return (self.put_time_batch(nbytes, remote_node)
+                + self.put_time(FLAG_BYTES, remote_node))
+
+    def local_copy_time_batch(self, nbytes) -> np.ndarray:
+        return 2.0 * nbytes / self.device.hbm_bandwidth(1.0)
+
+    def reduce_time_batch(self, n_elems, n_sources: int,
+                          itemsize: int) -> np.ndarray:
+        """Array twin of :meth:`reduce_time` (``n_sources`` is uniform —
+        it comes from the batch's topology constants)."""
+        if n_sources <= 1:
+            return np.zeros(len(np.asarray(n_elems)))
+        elems = np.asarray(n_elems, np.float64)
+        flops = elems * (n_sources - 1)
+        read_bytes = elems * itemsize * n_sources
+        flop_t = flops / self.device.spec.flop_rate("fp32")
+        mem_t = read_bytes / self.device.hbm_bandwidth(1.0)
+        return np.maximum(flop_t, mem_t)
+
+    def blit_route_time_batch(self, nbytes, remote_node: bool) -> np.ndarray:
+        if remote_node:
+            return (self.nic.message_overhead + self.nic.latency
+                    + nbytes / self.nic.bandwidth)
+        return self.link.latency + (nbytes / self.blit_efficiency
+                                    / self.link.bandwidth)
+
+    def nic_pipeline_time_batch(self, n_msgs, msg_bytes,
+                                rx_msgs=None) -> np.ndarray:
+        rx = n_msgs if rx_msgs is None else rx_msgs
+        mo = self.nic.message_overhead
+        wire = msg_bytes / self.nic.bandwidth
+        return self.nic.latency + np.maximum(n_msgs * mo + wire,
+                                             mo + rx * wire)
+
+    def _check_supported(self, kind: str, name: str, algo) -> None:
+        """Mirror of ``collectives.base._resolve``'s topology guard."""
+        topo = self.topology()
+        reason = algo.supports(topo)
+        if reason is not None:
+            raise ValueError(
+                f"{kind} algorithm {name!r} does not support "
+                f"{topo.num_nodes}x{topo.gpus_per_node}: {reason}")
+
+    def alltoall_time_batch(self, chunk_bytes,
+                            algo: Optional[str] = None) -> np.ndarray:
+        """Array twin of :meth:`alltoall_time`.  A named (or defaulted)
+        schedule evaluates the whole batch in one call; ``"auto"``
+        replicates the size selector with masks and evaluates each chosen
+        schedule on its sub-batch."""
+        chunk_bytes = np.asarray(chunk_bytes, np.float64)
+        if np.any(chunk_bytes < 0):
+            raise ValueError("chunk_bytes must be >= 0")
+        topo = self.topology()
+        if algo != AUTO:
+            name = default_alltoall(topo) if algo is None else algo
+            algorithm = get_alltoall(name)
+            self._check_supported("alltoall", name, algorithm)
+            return algorithm.analytic_time_batch(self, topo, chunk_bytes)
+        out = np.empty_like(chunk_bytes)
+        if topo.num_nodes == 1:
+            masks = {"flat": np.ones(len(chunk_bytes), bool)}
+        else:
+            small = chunk_bytes <= PAIRWISE_MAX_BYTES
+            staged = "hier" if topo.gpus_per_node > 1 else "pairwise"
+            masks = {staged: small, "flat": ~small}
+        for name, mask in masks.items():
+            if not np.any(mask):
+                continue
+            algorithm = get_alltoall(name)
+            self._check_supported("alltoall", name, algorithm)
+            out[mask] = algorithm.analytic_time_batch(self, topo,
+                                                      chunk_bytes[mask])
+        return out
+
+    def allreduce_time_batch(self, nbytes, n_elems, itemsize: int = 4,
+                             algo: Optional[str] = None) -> np.ndarray:
+        """Array twin of :meth:`allreduce_time` (same ``world == 1``
+        early-out after resolution, same auto-selector thresholds)."""
+        nbytes = np.asarray(nbytes, np.float64)
+        n_elems = np.asarray(n_elems, np.int64)
+        if np.any(nbytes < 0):
+            raise ValueError("nbytes must be >= 0")
+        topo = self.topology()
+        if algo != AUTO:
+            name = default_allreduce(topo) if algo is None else algo
+            algorithm = get_allreduce(name)
+            self._check_supported("allreduce", name, algorithm)
+            if topo.world == 1:
+                return np.full(len(nbytes), self.launch())
+            return algorithm.analytic_time_batch(self, topo, nbytes,
+                                                 n_elems, itemsize)
+        if topo.num_nodes == 1:
+            masks = {"direct": np.ones(len(nbytes), bool)}
+        else:
+            small = nbytes <= TREE_MAX_BYTES
+            staged = "hier" if topo.gpus_per_node > 1 else "tree"
+            masks = {staged: small, "ring": ~small}
+        if topo.world == 1:
+            return np.full(len(nbytes), self.launch())
+        out = np.empty_like(nbytes)
+        for name, mask in masks.items():
+            if not np.any(mask):
+                continue
+            algorithm = get_allreduce(name)
+            self._check_supported("allreduce", name, algorithm)
+            isz = itemsize[mask] if np.ndim(itemsize) else itemsize
+            out[mask] = algorithm.analytic_time_batch(
+                self, topo, nbytes[mask], n_elems[mask], isz)
+        return out

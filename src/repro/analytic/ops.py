@@ -33,6 +33,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from ..fused.embedding_alltoall import ITEMSIZE, EmbeddingA2AConfig
 from ..fused.embedding_grad_alltoall import _scatter_cost
 from ..fused.gemm_alltoall import GemmA2AConfig
@@ -110,6 +112,62 @@ def _queue_span(total_dur: float, n_tasks: int, slots: int) -> float:
     avg = total_dur / n_tasks
     return total_dur / slots + avg * (math.ceil(n_tasks / slots)
                                       - n_tasks / slots)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized twins of the shared helpers (scenario-axis arrays; each mirrors
+# its scalar form expression-for-expression so results are bit-identical)
+# ---------------------------------------------------------------------------
+
+def _tasks_per_slice_batch(d: DeviceModel, tables_per_gpu: np.ndarray,
+                           slices_per_stripe: np.ndarray,
+                           slice_vectors: np.ndarray,
+                           tasks_per_slice: np.ndarray,
+                           world: int) -> np.ndarray:
+    """Array twin of :func:`_tasks_per_slice`: the first divisor in
+    ``(1, 2, 4, 8, 16, 32)`` meeting the 8-rounds target, per scenario."""
+    n_slices = world * tables_per_gpu * slices_per_stripe
+    occ = d.occupancy(d.fused_res)
+    slots = np.minimum(occ.resident_wgs, n_slices)
+    target = np.ceil(8 * slots / n_slices)
+    out = np.where(tasks_per_slice != 0, tasks_per_slice, slice_vectors)
+    resolved = tasks_per_slice != 0
+    for div in (1, 2, 4, 8, 16, 32):
+        take = ~resolved & (div >= target) & (slice_vectors % div == 0)
+        out[take] = div
+        resolved |= take
+    return out
+
+
+def _occupancy_limit_batch(d: DeviceModel, frac: np.ndarray) -> np.ndarray:
+    """Array twin of :func:`_occupancy_limit`; ``NaN`` encodes ``None``
+    (no limit) and passes through untouched."""
+    base = d.occupancy(d.base_res).resident_wgs
+    fused = d.occupancy(d.fused_res).resident_wgs
+    limit = frac * base / fused
+    bad = limit > 1.0 + 1e-9        # NaN compares False: None rows pass
+    if np.any(bad):
+        raise ValueError(
+            f"occupancy {float(np.asarray(frac)[bad][0])} of baseline "
+            f"exceeds the fused kernel's maximum "
+            f"({fused / base:.3f} of baseline)")
+    return np.minimum(limit, 1.0)   # NaN propagates (still "no limit")
+
+
+def _overlap_finish_batch(compute_end, first_issue, last_issue,
+                          drain, tail):
+    """Array twin of :func:`_overlap_finish`."""
+    return np.maximum(compute_end,
+                      np.maximum(last_issue, first_issue + drain) + tail)
+
+
+def _queue_span_batch(total_dur, n_tasks, slots):
+    """Array twin of :func:`_queue_span`."""
+    n = np.asarray(n_tasks)
+    ok = n >= 1
+    avg = total_dur / np.where(ok, n, 1)
+    span = total_dur / slots + avg * (np.ceil(n / slots) - n / slots)
+    return np.where(ok, span, 0.0)
 
 
 # ---------------------------------------------------------------------------

@@ -50,9 +50,18 @@ from .report import (
 from .execution import (
     ScenarioOutcome,
     SweepRun,
+    batch_enabled,
     default_workers,
     run_scenario,
     run_sweep,
+)
+from .mega import (
+    MegaRun,
+    MegaSweepSpec,
+    get_mega,
+    list_megas,
+    register_mega,
+    run_mega,
 )
 from .specs import (
     BACKENDS,
@@ -89,7 +98,14 @@ __all__ = [
     "ensure_registered",
     "run_scenario",
     "run_sweep",
+    "batch_enabled",
     "default_workers",
+    "MegaRun",
+    "MegaSweepSpec",
+    "register_mega",
+    "get_mega",
+    "list_megas",
+    "run_mega",
     "build_report",
     "report_json",
     "render_report",

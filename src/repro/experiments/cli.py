@@ -13,7 +13,9 @@ Subcommands::
 
 ``run``/``report`` share the cache flags: ``--cache DIR`` (default
 ``.repro-cache``), ``--no-cache``, ``--force``.  ``run all`` runs every
-registered sweep; ``--backend analytic`` re-keys and re-runs any sweep
+registered sweep (mega sweeps — the axis-defined ``dse_mega`` grids
+evaluated through the vectorized batch engine — are listed alongside and
+run by name, but stay out of ``all``); ``--backend analytic`` re-keys and re-runs any sweep
 under the closed-form engine.  ``diff`` exits non-zero when the reports
 disagree, so it doubles as a CI regression gate against a committed
 baseline report; ``validate`` exits non-zero when the analytic backend
@@ -28,6 +30,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .mega import find_mega, list_megas, run_mega
 from .registry import get_sweep, list_sweeps
 from .report import diff_reports, load_report, render_report, report_json
 from .execution import default_workers, run_sweep
@@ -80,12 +83,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "key": s.key(),
             }
             for s in sweeps
+        ] + [
+            {
+                "name": m.name,
+                "title": m.title,
+                "description": m.description,
+                "scenarios": len(m),
+                "assembler": "mega",
+                "backends": ["analytic"],
+                "key": m.key(),
+            }
+            for m in list_megas()
         ], indent=2, sort_keys=True))
         return 0
-    width = max(len(s.name) for s in sweeps)
+    megas = list_megas()
+    width = max(len(s.name) for s in sweeps + megas)
     for sweep in sweeps:
         print(f"{sweep.name:<{width}}  {len(sweep):>4} scenario(s)  "
               f"{sweep.title}: {sweep.description}")
+    for mega in megas:
+        print(f"{mega.name:<{width}}  {len(mega):>4} scenario(s)  "
+              f"{mega.title}: {mega.description} [mega]")
     return 0
 
 
@@ -215,6 +233,32 @@ def _run_and_render(args: argparse.Namespace, expect_cached: bool) -> int:
     backend = getattr(args, "backend", None)
     algo = getattr(args, "algo", None)
     for name in _resolve_names(args.sweeps):
+        mega = find_mega(name)
+        if mega is not None:
+            if backend == "sim":
+                print(f"::error::{name}: mega sweeps are analytic-only",
+                      file=sys.stderr)
+                return 1
+            if algo is not None:
+                print(f"::error::{name}: mega sweeps fix their algo axis "
+                      f"in the grid; --algo does not apply", file=sys.stderr)
+                return 1
+            print(f"== {name} ({len(mega)} scenarios) ==", file=sys.stderr)
+            run = run_mega(mega, store=store, force=args.force)
+            report = run.report()
+            print(render_report(report))
+            print(f"{name}: {len(mega)} scenarios, {run.cache_hits} cached, "
+                  f"{run.executed} executed", file=sys.stderr)
+            print()
+            if report_dir is not None:
+                out = Path(report_dir) / f"{name}.json"
+                out.write_text(report_json(report), encoding="utf-8")
+                print(f"wrote {out}", file=sys.stderr)
+            if expect_cached and run.executed:
+                print(f"::error::{name}: expected a fully cached run but "
+                      f"{run.executed} scenario(s) executed", file=sys.stderr)
+                status = 1
+            continue
         sweep = get_sweep(name)
         if backend is not None:
             sweep = sweep_with_backend(sweep, backend)

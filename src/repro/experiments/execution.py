@@ -2,8 +2,11 @@
 
 :func:`run_sweep` is the subsystem's engine room.  For every scenario in a
 sweep it first consults the content-addressed store; only the misses are
-executed, sharded across spawn-safe worker processes (``workers > 1``) or
-run inline (the serial fallback, also used for single misses).  Scenario
+executed.  Analytic-backend misses whose runner the vectorized mega-batch
+engine supports are evaluated in one NumPy call (bit-identical to the
+scalar path, toggled by ``REPRO_BATCH``); whatever remains is sharded
+across spawn-safe worker processes (``workers > 1``) or run inline (the
+serial fallback, also used for single misses).  Scenario
 results are canonicalized through a JSON round-trip *before* any consumer
 sees them, so the serial, parallel, and cached paths all yield
 byte-identical downstream reports.
@@ -27,7 +30,7 @@ from .specs import ScenarioSpec, SweepSpec
 from .store import ResultStore
 
 __all__ = ["ScenarioOutcome", "SweepRun", "run_scenario", "run_sweep",
-           "default_workers"]
+           "default_workers", "batch_enabled"]
 
 #: Callback signature: ``progress(done, total, outcome)``.
 ProgressFn = Callable[[int, int, "ScenarioOutcome"], None]
@@ -102,6 +105,48 @@ def default_workers() -> int:
         return 1
 
 
+def batch_enabled() -> bool:
+    """Vectorized fast path toggle (``REPRO_BATCH=0`` forces scalar)."""
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def _run_batch_misses(sweep: SweepSpec, misses: List[int],
+                      record: Callable[[int, Dict[str, Any]], None]
+                      ) -> List[int]:
+    """Evaluate analytic cache misses through the vectorized mega-batch
+    engine (:mod:`repro.analytic.batch`); returns the miss indices the
+    engine did not cover (they fall through to the pool/serial path).
+
+    Only scenarios pinned to the analytic backend are eligible — the
+    batch twins are pinned bit-identical to the scalar closed forms, so
+    records, store keys, and downstream reports are unchanged; this is
+    purely an execution strategy.
+    """
+    from ..analytic.batch import batch_supported, evaluate_batch_records
+    by_runner: Dict[str, List[int]] = {}
+    for i in misses:
+        spec = sweep.scenarios[i]
+        if spec.backend == "analytic" and batch_supported(spec.runner):
+            by_runner.setdefault(spec.runner, []).append(i)
+    batched: Dict[int, Dict[str, Any]] = {}
+    for name, idxs in by_runner.items():
+        if len(idxs) < 2:
+            continue            # a lone scenario gains nothing from a batch
+        results = evaluate_batch_records(
+            name, [sweep.scenarios[i].params for i in idxs])
+        if results is None:
+            continue
+        for i, result in zip(idxs, results):
+            batched[i] = _canonical_result(result)
+    remaining = []
+    for i in misses:
+        if i in batched:
+            record(i, batched[i])
+        else:
+            remaining.append(i)
+    return remaining
+
+
 def run_sweep(sweep: Union[str, SweepSpec],
               store: Optional[ResultStore] = None,
               workers: int = 1,
@@ -156,6 +201,9 @@ def run_sweep(sweep: Union[str, SweepSpec],
         outcomes[i] = ScenarioOutcome(spec=spec, key=spec.key(),
                                       result=result, cached=False)
         _notify(outcomes[i])
+
+    if misses and batch_enabled():
+        misses = _run_batch_misses(sweep, misses, _record)
 
     if len(misses) > 1 and workers > 1:
         ctx = multiprocessing.get_context("spawn")

@@ -30,6 +30,8 @@ Calibration (done once, against the paper's Fig. 13, then frozen):
 
 from __future__ import annotations
 
+import numpy as np
+
 from .specs import GpuSpec
 
 __all__ = ["HbmModel"]
@@ -63,6 +65,8 @@ class HbmModel:
             raise ValueError("hbm_efficiency must start at occupancy 0.0")
         self._spec = spec
         self._points = pts
+        self._xs = np.array([x for x, _ in pts], dtype=np.float64)
+        self._ys = np.array([y for _, y in pts], dtype=np.float64)
         # Kernels evaluate the model at a handful of distinct occupancies,
         # thousands of times each; the model is a pure function of the frozen
         # spec, so memoize on (occupancy, access).
@@ -113,6 +117,40 @@ class HbmModel:
         bw = self.spec.hbm_bandwidth * self.concurrency_ramp(occupancy) * eff
         self._bw_cache[key] = bw
         return bw
+
+    # -- vectorized twins (scenario-axis arrays; bit-identical to the scalar
+    # -- forms above: same clamp, segment choice, and interpolation order) ----
+    def efficiency_batch(self, occupancy: np.ndarray) -> np.ndarray:
+        """Array twin of :meth:`efficiency` (elementwise bit-identical)."""
+        o = np.minimum(np.maximum(np.asarray(occupancy, np.float64), 0.0), 1.0)
+        xs, ys = self._xs, self._ys
+        # First segment whose right endpoint satisfies ``o <= x1`` — the
+        # segment the scalar loop stops at.
+        seg = np.searchsorted(xs[1:], o, side="left")
+        overflow = seg >= len(xs) - 1          # o beyond the table's last x
+        seg = np.minimum(seg, len(xs) - 2)
+        x0, x1 = xs[seg], xs[seg + 1]
+        y0, y1 = ys[seg], ys[seg + 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (o - x0) / (x1 - x0)
+            out = y0 + t * (y1 - y0)
+        out = np.where(x1 == x0, y1, out)      # degenerate segment -> y1
+        return np.where(overflow, ys[-1], out)
+
+    def concurrency_ramp_batch(self, occupancy: np.ndarray) -> np.ndarray:
+        """Array twin of :meth:`concurrency_ramp`."""
+        o = np.minimum(np.maximum(np.asarray(occupancy, np.float64), 0.0), 1.0)
+        return np.minimum(self.spec.hbm_concurrency * o, 1.0)
+
+    def achieved_bandwidth_batch(self, occupancy: np.ndarray,
+                                 access: str = "stream") -> np.ndarray:
+        """Array twin of :meth:`achieved_bandwidth` (``access`` is uniform
+        over the batch; multiplying streams by ``eff = 1.0`` is exact)."""
+        if access not in ("stream", "gather"):
+            raise ValueError(f"unknown access pattern {access!r}")
+        o = np.asarray(occupancy, np.float64)
+        eff = self.efficiency_batch(o) if access == "gather" else 1.0
+        return self.spec.hbm_bandwidth * self.concurrency_ramp_batch(o) * eff
 
     def best_occupancy(self, samples: int = 200,
                        access: str = "gather") -> float:
