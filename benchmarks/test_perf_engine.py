@@ -47,6 +47,8 @@ N_COLLECTIVE = 600
 N_BATCH = 250_000
 #: The DES scenario the engine-speedup ratio is measured against.
 RATIO_SCENARIO = dict(m=8192, n_per_gpu=2048, world=4)
+#: Trace events exported per repetition in the Chrome-export measurement.
+N_TRACE_EVENTS = 100_000
 
 
 def _engine_events_per_sec() -> float:
@@ -156,6 +158,45 @@ def _des_scenarios_per_sec() -> float:
     return 1.0 / wall
 
 
+def _trace_export_events_per_sec() -> float:
+    """Chrome-export throughput over a synthetic Fig.-11-shaped trace
+    (WG spans, PUT instants, kernel span) of ``N_TRACE_EVENTS`` events."""
+    from repro.obs.chrome import chrome_trace_json
+    from repro.sim import TraceRecorder
+
+    tr = TraceRecorder()
+    tr.record(0.0, "kernel_launch", "gpu0", kernel="bench")
+    t = 0.0
+    # 4 events per iteration: wg_start / put_issue / wg_end per WG.
+    for i in range((N_TRACE_EVENTS - 2) // 4):
+        actor = f"gpu0/wg{i % 64}"
+        tr.record(t, "wg_start", actor, task=i)
+        tr.record(t + 1e-7, "put_issue", actor, nbytes=4096, dest=1)
+        tr.record(t + 2e-7, "wg_end", actor, task=i)
+        tr.record(t + 2e-7, "flag_set", f"gpu1/wg{i % 64}", slice=i)
+        t += 2e-7
+    tr.record(t, "kernel_end", "gpu0", kernel="bench")
+
+    n = len(tr)
+    _, wall = time_call(lambda: chrome_trace_json(tr), repeats=BEST_OF)
+    return n / wall
+
+
+def _metrics_on_over_off_ratio() -> float:
+    """DES scenario throughput with the metrics registry live over the
+    default NULL_METRICS path (1.0 = free; the instrumented run loop and
+    counter flushes cost a few percent)."""
+    from repro.obs.metrics import enable_metrics, reset_metrics
+
+    off = _des_scenarios_per_sec()
+    enable_metrics()
+    try:
+        on = _des_scenarios_per_sec()
+    finally:
+        reset_metrics()
+    return on / off
+
+
 def test_analytic_backend_throughput():
     """The analytic engine must stay orders of magnitude over the DES.
 
@@ -194,6 +235,21 @@ def test_engine_event_throughput():
     assert eps > 50_000, f"engine throughput collapsed: {eps:.0f} events/s"
 
 
+def test_trace_export_throughput():
+    """The Chrome exporter must stay interactive on real traces (the
+    Fig. 11 scenario captures tens of thousands of events)."""
+    eps = _trace_export_events_per_sec()
+    assert eps > 10_000, f"trace export collapsed: {eps:.0f} events/s"
+
+
+def test_metrics_overhead_bounded():
+    """A live metrics registry may cost a little DES throughput, but the
+    instrumented run loop must stay within 25% of the default path
+    (host-noise-tolerant floor; the committed report tracks the ratio)."""
+    ratio = _metrics_on_over_off_ratio()
+    assert ratio > 0.75, f"metrics-enabled DES throughput ratio {ratio:.2f}"
+
+
 def test_fastpath_speedup_and_report(monkeypatch):
     """Fast path >= 5x WGs/sec on a hook-free uniform kernel; emit report."""
     monkeypatch.setenv("REPRO_SIM_FASTPATH", "1")
@@ -226,6 +282,8 @@ def test_fastpath_speedup_and_report(monkeypatch):
         "des_scenarios_per_sec": round(des, 2),
         "analytic_over_des_speedup": round(analytic / des),
         "collective_algos_scenarios_per_sec": round(collective),
+        "trace_export_events_per_sec": round(_trace_export_events_per_sec()),
+        "metrics_on_over_off_ratio": round(_metrics_on_over_off_ratio(), 3),
         "fig9_reduced_grid_wall_sec": round(fig9_wall, 3),
         "fig9_reduced_grid_mean_normalized": round(fig9.mean_normalized, 4),
     }

@@ -33,6 +33,7 @@ from ..collectives import check_algo
 from ..fused.embedding_alltoall import ITEMSIZE, EmbeddingA2AConfig
 from ..fused.embedding_grad_alltoall import SCATTER_ATOMIC_FACTOR
 from ..hw.platform import get_platform
+from ..obs.metrics import get_metrics
 from .comm import FLAG_BYTES, CommModel
 from .device import device_model
 from .ops import (
@@ -810,6 +811,7 @@ class ScenarioBatch:
     # -- evaluation ----------------------------------------------------------
     def _group_outputs(self) -> List[Tuple[_Group, Dict[str, Any]]]:
         spec = _RUNNERS[self.runner]
+        m = get_metrics()
         out = []
         for g in self.groups:
             if g.structural is None:
@@ -819,8 +821,13 @@ class ScenarioBatch:
                     for k in spec.float_out + spec.int_out}
                 cols["_records"] = results
                 out.append((g, cols))
+                if m.enabled:
+                    m.inc("batch.scalar_fallback_rows", len(g.rows))
             else:
                 out.append((g, spec.core(g.structural, g.columns)))
+        if m.enabled:
+            m.inc("batch.rows", self.n)
+            m.inc("batch.groups", len(self.groups))
         return out
 
     def evaluate(self) -> Dict[str, np.ndarray]:

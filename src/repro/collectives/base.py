@@ -287,6 +287,10 @@ def _resolve(kind: str, name: Optional[str], topo: CommTopology,
     elif name == AUTO:
         name = (select_allreduce(topo, nbytes) if kind == "allreduce"
                 else select_alltoall(topo, nbytes))
+        from ..obs.metrics import get_metrics
+        m = get_metrics()
+        if m.enabled:
+            m.inc(f"collectives.auto.{kind}.{name}")
     algo = get_allreduce(name) if kind == "allreduce" else get_alltoall(name)
     reason = algo.supports(topo)
     if reason is not None:

@@ -10,6 +10,8 @@ Subcommands::
     diff OLD NEW              compare two sweep report JSON files
     validate                  analytic-vs-DES fidelity vs. accuracy budget
     cache stats               result-store size and per-sweep breakdown
+    trace SWEEP [SWEEP...]    export a Chrome/Perfetto trace (--out FILE)
+    stats SWEEP [SWEEP...]    run with live metrics; print the registry
 
 ``run``/``report`` share the cache flags: ``--cache DIR`` (default
 ``.repro-cache``), ``--no-cache``, ``--force``.  ``run all`` runs every
@@ -293,6 +295,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _run_and_render(args, expect_cached=False)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Export a Chrome/Perfetto trace of the named sweeps' scenarios.
+
+    Scenarios run inline (no cache interaction — tracing is a profiling
+    view, not an execution mode), each inside the process-wide
+    :class:`~repro.obs.capture.TraceCapture`, so every simulated cluster
+    they build contributes a labelled run to the export.
+    """
+    from ..obs.capture import TraceCapture
+    from ..obs.chrome import write_chrome_trace
+    from ..obs.metrics import MetricsRegistry
+    from .execution import run_scenario
+    host = MetricsRegistry() if args.host_spans else None
+    matched = 0
+    with TraceCapture() as cap:
+        for name in _resolve_names(args.sweeps):
+            if find_mega(name) is not None:
+                print(f"::error::{name}: mega sweeps are analytic-only; "
+                      f"there is no simulated timeline to trace",
+                      file=sys.stderr)
+                return 1
+            sweep = get_sweep(name)
+            for spec in sweep.scenarios:
+                label = spec.label or spec.runner
+                if args.scenario is not None and args.scenario != label:
+                    continue
+                matched += 1
+                cap.begin_scenario(f"{name}:{label}")
+                if host is not None:
+                    with host.timer(f"{name}:{label}"):
+                        run_scenario(spec)
+                else:
+                    run_scenario(spec)
+                if not args.quiet:
+                    print(f"  traced {name}:{label}", file=sys.stderr)
+    if not matched:
+        print(f"::error::no scenario labelled {args.scenario!r} in "
+              f"{args.sweeps}", file=sys.stderr)
+        return 1
+    if cap.n_events == 0:
+        print("::error::nothing traced — the selected scenarios build no "
+              "simulated cluster (analytic backend?)", file=sys.stderr)
+        return 1
+    out = write_chrome_trace(
+        args.out, cap.runs,
+        host_spans=host.host_spans if host is not None else ())
+    print(f"wrote {out} ({cap.n_events} trace events, "
+          f"{len(cap.runs)} run(s))", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run sweeps with the metrics registry live and print its snapshot."""
+    from ..obs.metrics import MetricsRegistry, enable_metrics, reset_metrics
+    store = _make_store(args)
+    registry = enable_metrics(MetricsRegistry())
+    try:
+        for name in _resolve_names(args.sweeps):
+            mega = find_mega(name)
+            if mega is not None:
+                run = run_mega(mega, store=store, force=args.force)
+            else:
+                run = run_sweep(get_sweep(name), store=store,
+                                workers=args.workers, force=args.force,
+                                progress=_progress_printer(args.quiet))
+            print(f"{name}: {run.cache_hits} cached, {run.executed} "
+                  f"executed", file=sys.stderr)
+        if getattr(args, "json", False):
+            print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        else:
+            print(registry.render())
+    finally:
+        reset_metrics()
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     diff = diff_reports(load_report(args.old), load_report(args.new),
                         rtol=args.rtol)
@@ -392,6 +470,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable statistics")
     p_stats.set_defaults(fn=_cmd_cache_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a Chrome/Perfetto trace of a sweep's scenarios")
+    p_trace.add_argument("sweeps", nargs="+",
+                         help="sweep names (or 'all')")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default: trace.json); load it "
+                              "in Perfetto or chrome://tracing")
+    p_trace.add_argument("--scenario", default=None,
+                         help="only trace the scenario with this label")
+    p_trace.add_argument("--host-spans", action="store_true",
+                         help="also record host wall-clock per-scenario "
+                              "spans (nondeterministic; keep off for "
+                              "golden comparisons)")
+    p_trace.add_argument("--quiet", action="store_true",
+                         help="suppress per-scenario progress lines")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run sweeps with the run-metrics registry live and print "
+             "its counters/gauges/timers")
+    p_stats.add_argument("sweeps", nargs="+", help="sweep names (or 'all')")
+    _add_cache_args(p_stats)
+    p_stats.add_argument("--force", action="store_true",
+                         help="re-execute scenarios even on cache hits")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable metrics snapshot")
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_diff = sub.add_parser(
         "diff", help="compare two sweep report JSON files")

@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from ..obs.metrics import get_metrics
 from .registry import call_runner, ensure_registered, get_assembler, get_sweep
 from .specs import ScenarioSpec, SweepSpec
 from .store import ResultStore
@@ -173,6 +174,7 @@ def run_sweep(sweep: Union[str, SweepSpec],
     if isinstance(sweep, str):
         sweep = get_sweep(sweep)
     ensure_registered()
+    metrics = get_metrics()
 
     total = len(sweep.scenarios)
     outcomes: List[Optional[ScenarioOutcome]] = [None] * total
@@ -193,6 +195,9 @@ def run_sweep(sweep: Union[str, SweepSpec],
             _notify(outcomes[i])
         else:
             misses.append(i)
+    if metrics.enabled:
+        metrics.inc("sweep.cache_hits", total - len(misses))
+        metrics.inc("sweep.cache_misses", len(misses))
 
     def _record(i: int, result: Dict[str, Any]) -> None:
         spec = sweep.scenarios[i]
@@ -203,19 +208,26 @@ def run_sweep(sweep: Union[str, SweepSpec],
         _notify(outcomes[i])
 
     if misses and batch_enabled():
-        misses = _run_batch_misses(sweep, misses, _record)
+        before = len(misses)
+        with metrics.timer("sweep.batch_wall_s"):
+            misses = _run_batch_misses(sweep, misses, _record)
+        if metrics.enabled:
+            metrics.inc("sweep.batch_fastpath_scenarios",
+                        before - len(misses))
 
     if len(misses) > 1 and workers > 1:
         ctx = multiprocessing.get_context("spawn")
         n = min(workers, len(misses))
-        with ctx.Pool(processes=n) as pool:
-            specs = [sweep.scenarios[i] for i in misses]
-            for i, result in zip(misses,
-                                 pool.imap(_worker_run, specs, chunksize=1)):
-                _record(i, result)
+        with metrics.timer("sweep.pool_wall_s"):
+            with ctx.Pool(processes=n) as pool:
+                specs = [sweep.scenarios[i] for i in misses]
+                for i, result in zip(
+                        misses, pool.imap(_worker_run, specs, chunksize=1)):
+                    _record(i, result)
     else:
-        for i in misses:
-            _record(i, run_scenario(sweep.scenarios[i]))
+        with metrics.timer("sweep.serial_wall_s"):
+            for i in misses:
+                _record(i, run_scenario(sweep.scenarios[i]))
 
     run = SweepRun(sweep=sweep, outcomes=list(outcomes))
 

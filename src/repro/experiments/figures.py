@@ -76,7 +76,7 @@ __all__ = [
     "xhw_smoke_sweep", "XHW_PLATFORMS", "xalgo_allreduce_sweep",
     "xalgo_alltoall_sweep", "xalgo_smoke_sweep", "XALGO_ALLREDUCE",
     "XALGO_ALLTOALL", "dse_fused_frontier_sweep", "dse_smoke_sweep",
-    "DSE_PLATFORMS", "DSE_ALGOS",
+    "DSE_PLATFORMS", "DSE_ALGOS", "trace_smoke_sweep",
 ]
 
 
@@ -1072,6 +1072,24 @@ def dse_smoke_sweep(name: str = "dse-smoke") -> SweepSpec:
         topologies=((2, 1),))
 
 
+def trace_smoke_sweep(name: str = "trace-smoke") -> SweepSpec:
+    """One tiny pinned traced scenario for the CI golden-trace byte-compare.
+
+    The parameters are frozen: the exported Chrome trace is committed as a
+    golden file and compared byte-for-byte, so any change here (or any
+    nondeterminism in the simulator/exporter) fails the gate.
+    """
+    scenarios = [
+        scenario("wg_timeline", label="trace 64|4", batch=64, tables=4,
+                 wgs_per_slice=8, timeline_width=60,
+                 platform=_platform_param(None)),
+    ]
+    return SweepSpec.make(
+        name, "Trace smoke", scenarios, assembler="rows", figure="Trace",
+        description="pinned traced scenario for the golden Chrome-trace "
+                    "export check")
+
+
 def smoke_sweep(name: str = "smoke") -> SweepSpec:
     """Small, fast sweep for CI cache-behaviour checks (~2 s serial)."""
     plat = _platform_param(None)
@@ -1117,4 +1135,5 @@ ALL_SWEEPS: Tuple[SweepSpec, ...] = tuple(register_sweep(s) for s in (
     dse_fused_frontier_sweep(),
     dse_smoke_sweep(),
     smoke_sweep(),
+    trace_smoke_sweep(),
 ))

@@ -20,6 +20,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
+from ..obs.metrics import get_metrics
 from .specs import ScenarioSpec, SweepSpec
 
 __all__ = ["RECORD_SCHEMA", "DEFAULT_CACHE_DIR", "ResultStore"]
@@ -115,9 +116,14 @@ class ResultStore:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as f:
-                record = json.load(f)
+                text = f.read()
+            record = json.loads(text)
         except (OSError, ValueError):
             return None
+        m = get_metrics()
+        if m.enabled:
+            m.inc("store.reads")
+            m.inc("store.read_bytes", len(text.encode("utf-8")))
         if not isinstance(record, dict) or record.get("schema") != RECORD_SCHEMA:
             return None
         if record.get("key") != key:
@@ -127,12 +133,18 @@ class ResultStore:
     def _write(self, key: str, record: Mapping[str, Any]) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Serialized up front (byte-identical to streaming json.dump) so the
+        # write can be metered without a second encode.
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(record, f, indent=2, sort_keys=True)
-                f.write("\n")
+                f.write(text)
             os.replace(tmp, path)
+            m = get_metrics()
+            if m.enabled:
+                m.inc("store.writes")
+                m.inc("store.write_bytes", len(text.encode("utf-8")))
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -39,7 +39,8 @@ from ..hw.platform import (
     get_platform,
 )
 from ..hw.topology import Cluster
-from ..sim import NULL_TRACE, Simulator, TraceRecorder
+from ..obs.capture import harness_trace
+from ..sim import Simulator, TraceRecorder
 
 __all__ = ["OpResult", "OpHarness", "fused_kernel_resources",
            "baseline_kernel_resources"]
@@ -100,7 +101,11 @@ class OpHarness:
                  cpu_proxy: bool = False,
                  platform: PlatformLike = None):
         self.sim = Simulator()
-        self.trace = trace if trace is not None else NULL_TRACE
+        # ``None`` normally means NULL_TRACE; inside an active
+        # ``repro.obs.capture.TraceCapture`` it means "give me a live
+        # recorder and register it" — how `python -m repro trace` profiles
+        # runners that never heard of tracing.
+        self.trace = harness_trace(trace)
         self.platform: Platform = get_platform(platform)
         from ..hw.topology import build_cluster
         self.cluster: Cluster = build_cluster(

@@ -39,6 +39,7 @@ from collections import deque
 from typing import Callable, Generator, List, Optional, Sequence
 
 from ..hw.gpu import Gpu, KernelResources, OccupancyInfo, WgCost
+from ..obs.metrics import get_metrics
 from ..sim import Process, Simulator, TraceRecorder
 from .grid import SlotContext, WgTask
 
@@ -129,7 +130,14 @@ class PersistentKernel:
                               occupancy=self.occupancy.fraction)
         yield self.sim.timeout(spec.kernel_launch_overhead)
         fast = fastpath_enabled() and not self.trace.enabled
+        m = get_metrics()
+        if m.enabled:
+            m.inc("kernel.launches")
+            m.inc("kernel.tasks", len(self.tasks))
         if fast and self.n_slots > 1 and self._tasks_uniform_batchable():
+            if m.enabled:
+                m.inc("kernel.fastpath_uniform_kernels")
+                m.inc("kernel.fastpath_uniform_tasks", len(self.tasks))
             yield from self._run_uniform_fast()
         else:
             queue = deque(self.tasks)
@@ -214,6 +222,7 @@ class PersistentKernel:
         # Run-length batching inside one slot is only sound when no other
         # slot contends for the queue (see module docstring).
         batch = fast and self.n_slots == 1
+        batched_tasks = 0
         popleft = queue.popleft
         while queue:
             task = popleft()
@@ -228,6 +237,7 @@ class PersistentKernel:
                 # ``now + dur`` accumulation so the wake-up lands on the
                 # bit-identical timestamp, scheduled absolutely.
                 end = sim.now + dur
+                batched_tasks += 1
                 cost, repeat = task.cost, task.repeat
                 while queue:
                     nxt = queue[0]
@@ -237,6 +247,7 @@ class PersistentKernel:
                             or not (nxt.cost is cost or nxt.cost == cost)):
                         break
                     popleft()
+                    batched_tasks += 1
                     end += dur
                 yield sim.timeout_at(end)
                 continue
@@ -247,6 +258,10 @@ class PersistentKernel:
                 hook = task.on_complete(ctx, task)
                 if hook is not None:
                     yield from hook
+        if batched_tasks:
+            m = get_metrics()
+            if m.enabled:
+                m.inc("kernel.fastpath_batched_tasks", batched_tasks)
         if self.epilogue is not None:
             epi = self.epilogue(ctx)
             if epi is not None:

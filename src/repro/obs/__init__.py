@@ -1,0 +1,59 @@
+"""Unified observability layer: metrics, trace export, run capture.
+
+The repro's evaluation layers run deterministic simulations whose *results*
+are content-addressed and byte-stable — so observability must ride alongside
+without ever touching them.  This package provides the three pieces:
+
+* :mod:`repro.obs.metrics` — a process-wide run-metrics registry (counters,
+  gauges, host wall-clock timers) following the ``NULL_TRACE`` pattern: a
+  no-op :data:`~repro.obs.metrics.NULL_METRICS` singleton when disabled,
+  opt-in via ``REPRO_METRICS`` or :func:`~repro.obs.metrics.enable_metrics`.
+  Hot layers (engine event loop, kernel fast path, sweep execution, result
+  store, batch engine, collective auto-selector) are instrumented against
+  it; none of its data feeds cache keys or report bytes.
+* :mod:`repro.obs.chrome` — deterministic export of
+  :class:`~repro.sim.trace.TraceRecorder` events/spans (plus host-side
+  wall-clock spans) to Chrome trace-event JSON, loadable in Perfetto or
+  ``chrome://tracing`` — the paper's Fig. 11 profiler view, but in a real
+  trace viewer instead of an 80-column ASCII strip.
+* :mod:`repro.obs.capture` — a context manager that transparently hands a
+  live :class:`TraceRecorder` to every :class:`~repro.fused.base.OpHarness`
+  built inside it, so ``python -m repro trace`` can profile any registered
+  sweep without the runners knowing.
+"""
+
+from .capture import TraceCapture, active_capture, harness_trace
+from .chrome import (
+    EXPORT_SCHEMA,
+    chrome_trace_dict,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_env_enabled,
+    reset_metrics,
+)
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "TraceCapture",
+    "active_capture",
+    "chrome_trace_dict",
+    "chrome_trace_json",
+    "disable_metrics",
+    "enable_metrics",
+    "get_metrics",
+    "harness_trace",
+    "metrics_env_enabled",
+    "reset_metrics",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,93 @@
+"""Transparent trace capture for harness-driven runs.
+
+Scenario runners build their simulated clusters through
+:class:`~repro.fused.base.OpHarness`, which defaults to the no-op
+:data:`~repro.sim.trace.NULL_TRACE`.  A :class:`TraceCapture` context
+flips that default: every harness constructed inside it gets a live
+:class:`~repro.sim.trace.TraceRecorder` (or registers the one it was
+explicitly given), labelled and collected on the capture.  That is how
+``python -m repro trace`` profiles any registered sweep without the
+runners knowing they are being watched — runner results, store records,
+and reports are untouched because tracing never alters simulated timing.
+
+Outside a capture, :func:`harness_trace` is a passthrough (``None`` ->
+``NULL_TRACE``), so the default path keeps its zero-cost behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.trace import NULL_TRACE, TraceRecorder
+
+__all__ = ["TraceCapture", "active_capture", "harness_trace"]
+
+#: The capture currently in scope (at most one per process).
+_active: Optional["TraceCapture"] = None
+
+
+class TraceCapture:
+    """Collects one labelled :class:`TraceRecorder` per harness built
+    inside the ``with`` block.
+
+    Labels are ``<scenario>/run<k>`` where the scenario prefix is set via
+    :meth:`begin_scenario` (the trace CLI sets it to the sweep/scenario
+    label) and ``k`` counts harnesses within that scenario — e.g. a
+    fused/baseline comparison contributes ``run0`` and ``run1``.
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[Tuple[str, TraceRecorder]] = []
+        self._scenario: Optional[str] = None
+        self._run_in_scenario = 0
+
+    def begin_scenario(self, label: str) -> None:
+        """Start a new labelled group; subsequent harnesses attach to it."""
+        self._scenario = label
+        self._run_in_scenario = 0
+
+    def attach(self, trace: Optional[TraceRecorder] = None) -> TraceRecorder:
+        """Register (and return) the recorder for a newly-built harness."""
+        if trace is None:
+            trace = TraceRecorder()
+        prefix = self._scenario if self._scenario is not None else "run"
+        label = f"{prefix}/run{self._run_in_scenario}"
+        self._run_in_scenario += 1
+        self.runs.append((label, trace))
+        return trace
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(trace) for _label, trace in self.runs)
+
+    def __enter__(self) -> "TraceCapture":
+        global _active
+        if _active is not None:
+            raise RuntimeError("a TraceCapture is already active")
+        _active = self
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _active
+        _active = None
+
+
+def active_capture() -> Optional[TraceCapture]:
+    """The in-scope :class:`TraceCapture`, if any."""
+    return _active
+
+
+def harness_trace(trace: Optional[TraceRecorder]) -> TraceRecorder:
+    """Resolve a harness's trace argument against the active capture.
+
+    * no capture: ``trace`` itself, or :data:`NULL_TRACE` when ``None`` —
+      the historical default, bit-for-bit;
+    * capture active: a fresh recorder when ``None``, else the explicit
+      recorder — registered with the capture either way.  An explicit
+      :data:`NULL_TRACE` always means "tracing off" and is never captured.
+    """
+    if _active is None:
+        return trace if trace is not None else NULL_TRACE
+    if trace is NULL_TRACE:
+        return NULL_TRACE
+    return _active.attach(trace)

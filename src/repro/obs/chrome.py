@@ -1,0 +1,251 @@
+"""Deterministic Chrome trace-event export of simulation traces.
+
+Converts :class:`~repro.sim.trace.TraceRecorder` events into the Chrome
+trace-event JSON format (the ``traceEvents`` array form) that Perfetto and
+``chrome://tracing`` load directly — the paper's Fig. 11 persistent-WG
+timeline as an interactive profiler view.
+
+Mapping:
+
+* each captured run (one :class:`TraceRecorder`, e.g. one operator's
+  simulated cluster) becomes a Chrome *process* (``pid``), named by its
+  capture label via ``process_name`` metadata;
+* each trace actor (``gpu0``, ``gpu0/wg3``, ...) becomes a *thread*
+  (``tid``) of that process, in first-seen order — the same order the
+  ASCII timeline uses;
+* start/end pairs the recorder knows how to stitch
+  (:attr:`TraceRecorder.SPAN_KINDS`: ``wg``, ``wait``, ``kernel``,
+  ``comm``) become complete (``"X"``) events carrying the merged span
+  detail as ``args``;
+* every other kind (``put_issue``, ``flag_set``, ...) becomes a
+  thread-scoped instant (``"i"``) event;
+* host-side wall-clock spans (from
+  :attr:`repro.obs.metrics.MetricsRegistry.host_spans`) go onto a final
+  dedicated ``host`` process, rebased so the first span starts at zero.
+
+Simulated time is seconds; Chrome expects microseconds, so ``ts``/``dur``
+are scaled by 1e6.  The export is deterministic: events are fully sorted,
+labels and ids derive only from the trace, and no volatile field
+(hostname, wall-clock date, OS pid) is emitted — two exports of the same
+simulation are byte-identical, which CI exploits with a golden-trace
+byte-compare.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..sim.trace import TraceRecorder
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "chrome_trace_dict",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Stamped into the export's ``otherData`` (the only provenance field).
+EXPORT_SCHEMA = "repro.obs.chrome/v1"
+
+#: Seconds (simulated) -> microseconds (Chrome's ts/dur unit).
+_US = 1e6
+
+#: Metadata record names Chrome/Perfetto understand.
+_META_NAMES = ("process_name", "process_sort_index", "thread_name",
+               "thread_sort_index")
+
+Runs = Sequence[Tuple[str, TraceRecorder]]
+HostSpans = Iterable[Tuple[str, float, float]]
+
+
+def _jsonable(value: Any) -> Any:
+    """Deterministic JSON-safe projection of a trace detail value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _args(detail: Dict[str, Any]) -> Dict[str, Any]:
+    return {str(k): _jsonable(v) for k, v in sorted(detail.items())}
+
+
+def _run_events(label: str, trace: TraceRecorder,
+                pid: int) -> List[Dict[str, Any]]:
+    """All Chrome events for one captured run (metadata + spans + instants)."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": label},
+    }, {
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+        "args": {"sort_index": pid},
+    }]
+    tids = {actor: i for i, actor in enumerate(trace.actors())}
+    for actor, tid in tids.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": actor}})
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": tid}})
+
+    span_bounds = set()
+    for which, (start_kind, end_kind) in sorted(
+            TraceRecorder.SPAN_KINDS.items()):
+        span_bounds.update((start_kind, end_kind))
+        for sp in trace.spans(which):
+            events.append({
+                "ph": "X", "pid": pid, "tid": tids[sp.actor],
+                "ts": sp.start * _US, "dur": (sp.end - sp.start) * _US,
+                "name": which, "cat": which, "args": _args(sp.detail),
+            })
+    for ev in trace.events:
+        if ev.kind in span_bounds:
+            continue
+        events.append({
+            "ph": "i", "pid": pid, "tid": tids[ev.actor], "ts": ev.time * _US,
+            "s": "t", "name": ev.kind, "cat": ev.kind,
+            "args": _args(ev.detail),
+        })
+    return events
+
+
+def _host_events(host_spans: HostSpans, pid: int) -> List[Dict[str, Any]]:
+    """Host wall-clock spans on a dedicated process, rebased to zero."""
+    spans = list(host_spans)
+    if not spans:
+        return []
+    t0 = min(s[1] for s in spans)
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": "host"},
+    }, {
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+        "args": {"sort_index": pid},
+    }, {
+        "ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+        "args": {"name": "host wall-clock"},
+    }]
+    for name, start, end in spans:
+        events.append({
+            "ph": "X", "pid": pid, "tid": 0, "ts": (start - t0) * _US,
+            "dur": (end - start) * _US, "name": name, "cat": "host",
+            "args": {},
+        })
+    return events
+
+
+def _sort_key(ev: Dict[str, Any]) -> Tuple:
+    # Metadata (no ts) sorts ahead of its process's timed events; the final
+    # canonical-JSON component makes the order total and deterministic.
+    return (ev["pid"], ev.get("ts", -1.0), ev["tid"], ev["ph"], ev["name"],
+            json.dumps(ev, sort_keys=True))
+
+
+def _as_runs(runs: Union[TraceRecorder, Runs]) -> Runs:
+    if isinstance(runs, TraceRecorder):
+        return [("trace", runs)]
+    return runs
+
+
+def chrome_trace_dict(runs: Union[TraceRecorder, Runs],
+                      host_spans: HostSpans = ()) -> Dict[str, Any]:
+    """The export as a Python dict (see the module docstring for layout)."""
+    run_list = _as_runs(runs)
+    events: List[Dict[str, Any]] = []
+    for pid, (label, trace) in enumerate(run_list):
+        events.extend(_run_events(label, trace, pid))
+    events.extend(_host_events(host_spans, pid=len(run_list)))
+    events.sort(key=_sort_key)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": EXPORT_SCHEMA},
+        "traceEvents": events,
+    }
+
+
+def chrome_trace_json(runs: Union[TraceRecorder, Runs],
+                      host_spans: HostSpans = ()) -> str:
+    """Deterministic JSON text: one event per line (diffable goldens)."""
+    data = chrome_trace_dict(runs, host_spans=host_spans)
+    events = data["traceEvents"]
+    lines = ['{"displayTimeUnit":"ms",'
+             f'"otherData":{{"exporter":"{EXPORT_SCHEMA}"}},'
+             '"traceEvents":[']
+    last = len(events) - 1
+    for i, ev in enumerate(events):
+        text = json.dumps(ev, sort_keys=True, separators=(",", ":"))
+        lines.append(" " + text + ("," if i < last else ""))
+    lines.append("]}")
+    return "\n".join(lines) + "\n"
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       runs: Union[TraceRecorder, Runs],
+                       host_spans: HostSpans = ()) -> Path:
+    """Write the export to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(chrome_trace_json(runs, host_spans=host_spans),
+                    encoding="utf-8")
+    return path
+
+
+def validate_chrome_trace(data: Any) -> int:
+    """Schema-check an export; returns the event count or raises ValueError.
+
+    Checks the subset of the Chrome trace-event format this module emits
+    (object form with a ``traceEvents`` array of ``M``/``X``/``i`` events
+    carrying the fields Perfetto needs).  Used by the test suite and CI to
+    guarantee exports stay loadable.
+    """
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(data).__name__}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+                ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing event name")
+        if ph == "M":
+            if ev.get("name") not in _META_NAMES:
+                errors.append(f"{where}: unknown metadata {ev.get('name')!r}")
+            if not isinstance(ev.get("args"), dict):
+                errors.append(f"{where}: metadata needs args")
+        else:
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad ts {ts!r}")
+            if ph == "X":
+                dur = ev.get("dur")
+                if not isinstance(dur, (int, float)) or dur < 0:
+                    errors.append(f"{where}: bad dur {dur!r}")
+            if ph == "i" and ev.get("s") not in ("g", "p", "t"):
+                errors.append(f"{where}: instant scope must be g/p/t")
+    if errors:
+        raise ValueError("invalid Chrome trace: " + "; ".join(errors[:10]))
+    return len(events)

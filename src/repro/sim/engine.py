@@ -37,6 +37,21 @@ __all__ = [
     "Interrupt",
 ]
 
+#: Lazily-bound :func:`repro.obs.metrics.get_metrics` — the sim core must
+#: not import the observability package at module load (obs sits above sim
+#: in the layering), and the indirection costs one global test per
+#: :meth:`Simulator.run` call.
+_get_metrics: Optional[Callable] = None
+
+
+def _metrics():
+    global _get_metrics
+    if _get_metrics is None:
+        from ..obs.metrics import get_metrics
+        _get_metrics = get_metrics
+    return _get_metrics()
+
+
 #: Scheduling priority for ordinary events.
 PRIORITY_NORMAL = 1
 #: Priority for events that must run before normal events at the same time
@@ -412,6 +427,9 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        m = _metrics()
+        if m.enabled:
+            return self._run_instrumented(until, m)
         # The event loop is the single hottest function in the library; it is
         # deliberately inlined (no step() call, hoisted locals) — worth ~15%
         # of end-to-end figure-regeneration time.
@@ -430,6 +448,37 @@ class Simulator:
                 self._now = t
                 event._process()
             self._now = until
+        return self._now
+
+    def _run_instrumented(self, until: Optional[float], m) -> float:
+        """The event loop with run-metrics bookkeeping (events processed,
+        event-heap peak).  Identical scheduling semantics to :meth:`run` —
+        the observability layer may count, never reorder."""
+        heap = self._heap
+        pop = heapq.heappop
+        n = 0
+        peak = len(heap)
+        if until is None:
+            while heap:
+                if len(heap) > peak:
+                    peak = len(heap)
+                t, _prio, _seq, event = pop(heap)
+                self._now = t
+                event._process()
+                n += 1
+        else:
+            while heap:
+                if heap[0][0] > until:
+                    break
+                if len(heap) > peak:
+                    peak = len(heap)
+                t, _prio, _seq, event = pop(heap)
+                self._now = t
+                event._process()
+                n += 1
+            self._now = until
+        m.inc("sim.events_processed", n)
+        m.gauge_max("sim.heap_peak", peak)
         return self._now
 
     def run_process(self, generator: Generator, name: Optional[str] = None) -> Any:

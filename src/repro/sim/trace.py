@@ -99,23 +99,27 @@ class TraceRecorder:
     def spans(self, which: str, actor: Optional[str] = None) -> list[Span]:
         """Stitch start/end event pairs into :class:`Span` objects.
 
-        Events are matched per-actor in order; an unmatched trailing start is
-        dropped (the simulation ended mid-span).
+        Events are matched per-actor with a stack, so re-entrant starts
+        nest: a second ``wg_start`` before the first's ``wg_end`` opens an
+        inner span and the outer one still closes against its own end
+        (LIFO matching).  Unmatched trailing starts are dropped (the
+        simulation ended mid-span).
         """
         if which not in self.SPAN_KINDS:
             raise KeyError(f"unknown span kind {which!r}; "
                            f"choose from {sorted(self.SPAN_KINDS)}")
         start_kind, end_kind = self.SPAN_KINDS[which]
-        open_by_actor: dict[str, TraceEvent] = {}
+        open_by_actor: dict[str, list[TraceEvent]] = {}
         out: list[Span] = []
         for ev in self.events:
             if actor is not None and ev.actor != actor:
                 continue
             if ev.kind == start_kind:
-                open_by_actor[ev.actor] = ev
+                open_by_actor.setdefault(ev.actor, []).append(ev)
             elif ev.kind == end_kind:
-                st = open_by_actor.pop(ev.actor, None)
-                if st is not None:
+                stack = open_by_actor.get(ev.actor)
+                if stack:
+                    st = stack.pop()
                     detail = dict(st.detail)
                     detail.update(ev.detail)
                     out.append(Span(st.time, ev.time, ev.actor, which, detail))
@@ -134,9 +138,14 @@ class TraceRecorder:
             return "(empty trace)"
         t0 = min(ev.time for ev in self.events)
         t1 = max(ev.time for ev in self.events)
-        extent = max(t1 - t0, 1e-30)
+        extent = t1 - t0
 
         def col(t: float) -> int:
+            # A zero-extent trace (single event, or every event sharing one
+            # timestamp) has no scale: clamp everything to a single column
+            # instead of dividing by a fake epsilon extent.
+            if extent <= 0.0:
+                return 0
             return min(width - 1, int((t - t0) / extent * (width - 1)))
 
         lines = []

@@ -1,0 +1,15 @@
+"""Shared fixtures: every obs test starts from a clean metrics state."""
+
+import pytest
+
+from repro.obs.metrics import ENV_VAR, JSONL_ENV_VAR, reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics(monkeypatch):
+    """Isolate each test from the environment and any prior registry."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    monkeypatch.delenv(JSONL_ENV_VAR, raising=False)
+    reset_metrics()
+    yield
+    reset_metrics()

@@ -1,0 +1,102 @@
+"""Unit tests for TraceCapture and the harness hook."""
+
+import pytest
+
+from repro.obs.capture import TraceCapture, active_capture, harness_trace
+from repro.sim import NULL_TRACE, TraceRecorder
+
+
+# -- passthrough (no capture) ------------------------------------------------
+
+def test_no_capture_none_maps_to_null_trace():
+    assert harness_trace(None) is NULL_TRACE
+
+
+def test_no_capture_explicit_recorder_passes_through():
+    tr = TraceRecorder()
+    assert harness_trace(tr) is tr
+
+
+# -- capture semantics -------------------------------------------------------
+
+def test_capture_hands_out_fresh_recorders():
+    with TraceCapture() as cap:
+        tr = harness_trace(None)
+        assert isinstance(tr, TraceRecorder)
+        assert tr.enabled and tr is not NULL_TRACE
+        assert cap.runs == [("run/run0", tr)]
+    assert harness_trace(None) is NULL_TRACE  # capture closed
+
+
+def test_capture_registers_explicit_recorders():
+    mine = TraceRecorder()
+    with TraceCapture() as cap:
+        assert harness_trace(mine) is mine
+    assert cap.runs == [("run/run0", mine)]
+
+
+def test_capture_never_captures_null_trace():
+    with TraceCapture() as cap:
+        assert harness_trace(NULL_TRACE) is NULL_TRACE
+    assert cap.runs == []
+
+
+def test_scenario_labels_and_run_indices():
+    with TraceCapture() as cap:
+        cap.begin_scenario("sweep:a")
+        harness_trace(None)
+        harness_trace(None)
+        cap.begin_scenario("sweep:b")
+        harness_trace(None)
+    assert [label for label, _ in cap.runs] == [
+        "sweep:a/run0", "sweep:a/run1", "sweep:b/run0"]
+
+
+def test_n_events_sums_runs():
+    with TraceCapture() as cap:
+        a = harness_trace(None)
+        b = harness_trace(None)
+        a.record(0.0, "put_issue", "x")
+        b.record(0.0, "put_issue", "y")
+        b.record(1.0, "put_issue", "y")
+    assert cap.n_events == 3
+
+
+def test_active_capture_visibility():
+    assert active_capture() is None
+    with TraceCapture() as cap:
+        assert active_capture() is cap
+    assert active_capture() is None
+
+
+def test_nested_capture_rejected():
+    with TraceCapture():
+        with pytest.raises(RuntimeError):
+            with TraceCapture():
+                pass
+    # The failed inner enter must not have torn down the outer state.
+    assert active_capture() is None
+
+
+def test_capture_released_on_exception():
+    with pytest.raises(RuntimeError, match="boom"):
+        with TraceCapture():
+            raise RuntimeError("boom")
+    assert active_capture() is None
+
+
+# -- integration with OpHarness ---------------------------------------------
+
+def test_op_harness_joins_active_capture():
+    from repro.fused.base import OpHarness
+    with TraceCapture() as cap:
+        cap.begin_scenario("test:h")
+        h = OpHarness(num_nodes=1, gpus_per_node=2)
+    assert h.trace is not NULL_TRACE and h.trace.enabled
+    assert cap.runs == [("test:h/run0", h.trace)]
+
+
+def test_op_harness_default_outside_capture_unchanged():
+    from repro.fused.base import OpHarness
+    h = OpHarness(num_nodes=1, gpus_per_node=2)
+    assert h.trace is NULL_TRACE

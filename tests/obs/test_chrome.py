@@ -1,0 +1,131 @@
+"""Unit tests for the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import (
+    EXPORT_SCHEMA,
+    chrome_trace_dict,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim import TraceRecorder
+
+
+def make_trace():
+    tr = TraceRecorder()
+    tr.record(0.0, "kernel_launch", "gpu0", kernel="k")
+    tr.record(0.0, "wg_start", "gpu0/wg0", task=0)
+    tr.record(1e-6, "wg_end", "gpu0/wg0", task=0)
+    tr.record(1e-6, "put_issue", "gpu0/wg0", nbytes=128, dest=1)
+    tr.record(2e-6, "kernel_end", "gpu0", kernel="k")
+    return tr
+
+
+def events_of(data, ph=None):
+    evs = data["traceEvents"]
+    return [e for e in evs if ph is None or e["ph"] == ph]
+
+
+def test_single_recorder_becomes_one_process():
+    data = chrome_trace_dict(make_trace())
+    names = [e for e in events_of(data, "M") if e["name"] == "process_name"]
+    assert [n["args"]["name"] for n in names] == ["trace"]
+    assert {e["pid"] for e in data["traceEvents"]} == {0}
+
+
+def test_threads_in_first_seen_order():
+    data = chrome_trace_dict(make_trace())
+    threads = [e for e in events_of(data, "M") if e["name"] == "thread_name"]
+    by_tid = {e["tid"]: e["args"]["name"] for e in threads}
+    assert by_tid == {0: "gpu0", 1: "gpu0/wg0"}
+
+
+def test_spans_become_complete_events_in_microseconds():
+    data = chrome_trace_dict(make_trace())
+    wg = [e for e in events_of(data, "X") if e["name"] == "wg"]
+    assert len(wg) == 1
+    assert wg[0]["ts"] == pytest.approx(0.0)
+    assert wg[0]["dur"] == pytest.approx(1.0)  # 1e-6 s -> 1 us
+    assert wg[0]["args"]["task"] == 0
+    kernel = [e for e in events_of(data, "X") if e["name"] == "kernel"]
+    assert kernel[0]["dur"] == pytest.approx(2.0)
+
+
+def test_non_span_kinds_become_instants():
+    data = chrome_trace_dict(make_trace())
+    inst = events_of(data, "i")
+    assert [e["name"] for e in inst] == ["put_issue"]
+    assert inst[0]["s"] == "t"
+    assert inst[0]["args"] == {"nbytes": 128, "dest": 1}
+
+
+def test_span_boundary_kinds_not_duplicated_as_instants():
+    data = chrome_trace_dict(make_trace())
+    names = {e["name"] for e in events_of(data, "i")}
+    assert names.isdisjoint(
+        {"wg_start", "wg_end", "kernel_launch", "kernel_end"})
+
+
+def test_multiple_runs_get_distinct_pids():
+    runs = [("a", make_trace()), ("b", make_trace())]
+    data = chrome_trace_dict(runs)
+    names = {e["pid"]: e["args"]["name"]
+             for e in events_of(data, "M") if e["name"] == "process_name"}
+    assert names == {0: "a", 1: "b"}
+
+
+def test_host_spans_on_dedicated_process_rebased():
+    runs = [("a", make_trace())]
+    host = [("phase1", 100.0, 100.5), ("phase2", 100.5, 101.0)]
+    data = chrome_trace_dict(runs, host_spans=host)
+    host_pid = max(e["pid"] for e in data["traceEvents"])
+    assert host_pid == 1
+    spans = [e for e in events_of(data, "X") if e["pid"] == host_pid]
+    assert [s["name"] for s in spans] == ["phase1", "phase2"]
+    assert spans[0]["ts"] == pytest.approx(0.0)      # rebased to zero
+    assert spans[1]["ts"] == pytest.approx(0.5e6)
+
+
+def test_json_text_is_deterministic_and_parses():
+    tr = make_trace()
+    text = chrome_trace_json(tr)
+    assert text == chrome_trace_json(make_trace())
+    data = json.loads(text)
+    assert data == chrome_trace_dict(tr)
+    assert data["otherData"]["exporter"] == EXPORT_SCHEMA
+    assert text.endswith("\n")
+
+
+def test_unjsonable_detail_falls_back_to_repr():
+    tr = TraceRecorder()
+    tr.record(0.0, "put_issue", "a", obj={1, 2})
+    data = chrome_trace_dict(tr)
+    [ev] = events_of(data, "i")
+    assert isinstance(ev["args"]["obj"], str)
+    json.dumps(data)  # export always serializes
+
+
+def test_write_and_validate_roundtrip(tmp_path):
+    path = write_chrome_trace(tmp_path / "t.json", make_trace())
+    data = json.loads(path.read_text())
+    n = validate_chrome_trace(data)
+    assert n == len(data["traceEvents"]) > 0
+
+
+def test_validate_rejects_garbage():
+    with pytest.raises(ValueError):
+        validate_chrome_trace([])
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": "nope"})
+    with pytest.raises(ValueError, match="phase"):
+        validate_chrome_trace({"traceEvents": [{"ph": "Q"}]})
+    with pytest.raises(ValueError, match="ts"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": -1, "dur": 0}]})
+
+
+def test_validate_accepts_empty_trace():
+    assert validate_chrome_trace({"traceEvents": []}) == 0

@@ -96,6 +96,32 @@ def test_unmatched_trailing_start_after_closed_spans():
                                                           (2.0, 3.0)]
 
 
+def test_reentrant_starts_nest_lifo():
+    """Regression: a second start before the first end used to clobber the
+    outer open span — LIFO matching must return both."""
+    tr = TraceRecorder()
+    tr.record(0.0, "wg_start", "a", task=0)
+    tr.record(1.0, "wg_start", "a", task=1)   # re-entrant inner span
+    tr.record(2.0, "wg_end", "a")
+    tr.record(3.0, "wg_end", "a")
+    spans = tr.spans("wg")
+    assert [(s.start, s.end) for s in spans] == [(1.0, 2.0), (0.0, 3.0)]
+    assert spans[0].detail["task"] == 1
+    assert spans[1].detail["task"] == 0
+
+
+def test_reentrant_starts_isolated_per_actor():
+    tr = TraceRecorder()
+    tr.record(0.0, "wg_start", "a", task=0)
+    tr.record(0.5, "wg_start", "b", task=9)
+    tr.record(1.0, "wg_start", "a", task=1)
+    tr.record(2.0, "wg_end", "a")
+    tr.record(2.5, "wg_end", "b")
+    tr.record(3.0, "wg_end", "a")
+    assert [(s.actor, s.start, s.end) for s in tr.spans("wg")] == [
+        ("a", 1.0, 2.0), ("b", 0.5, 2.5), ("a", 0.0, 3.0)]
+
+
 def test_null_trace_is_disabled_and_inert():
     assert not NULL_TRACE.enabled
     NULL_TRACE.record(0.0, "wg_start", "x", task=1)
@@ -121,6 +147,46 @@ def test_render_timeline_contains_rows_and_markers():
 def test_render_empty_trace():
     tr = TraceRecorder()
     assert tr.render_timeline() == "(empty trace)"
+
+
+def test_render_single_event_clamps_to_one_column():
+    """A single event gives the timeline zero extent: everything lands in
+    column 0 instead of dividing by a fake epsilon."""
+    tr = TraceRecorder()
+    tr.record(1.5, "put_issue", "a")
+    out = tr.render_timeline(width=40)
+    row = out.splitlines()[0]
+    body = row[row.index("|") + 1:row.rindex("|")]
+    assert body[0] == "P"
+    assert set(body[1:]) <= {" "}
+
+
+def test_render_zero_duration_span_single_column():
+    """All events at one timestamp (zero-extent trace): the span renders
+    as a single '#' column, not a misleading full-width bar."""
+    tr = TraceRecorder()
+    tr.record(2.0, "wg_start", "a", task=0)
+    tr.record(2.0, "wg_end", "a")
+    out = tr.render_timeline(width=40)
+    row = out.splitlines()[0]
+    body = row[row.index("|") + 1:row.rindex("|")]
+    assert body[0] == "#"
+    assert set(body[1:]) <= {" "}
+
+
+def test_render_zero_duration_span_in_nonzero_trace():
+    """A zero-duration span inside a trace with real extent still paints
+    exactly one column at its position."""
+    tr = TraceRecorder()
+    tr.record(0.0, "kernel_launch", "gpu")
+    tr.record(5.0, "wg_start", "a")
+    tr.record(5.0, "wg_end", "a")
+    tr.record(10.0, "kernel_end", "gpu")
+    out = tr.render_timeline(actors=["a"], width=41)
+    row = out.splitlines()[0]
+    body = row[row.index("|") + 1:row.rindex("|")]
+    assert body.count("#") == 1
+    assert body[20] == "#"  # t=5 of [0, 10] at width 41 -> column 20
 
 
 def test_clear():
