@@ -12,6 +12,8 @@ Subcommands::
     cache stats               result-store size and per-sweep breakdown
     trace SWEEP [SWEEP...]    export a Chrome/Perfetto trace (--out FILE)
     stats SWEEP [SWEEP...]    run with live metrics; print the registry
+    lint [--json]             static invariant checks (determinism,
+                              mirror parity, hot-path guards, ...)
 
 ``run``/``report`` share the cache flags: ``--cache DIR`` (default
 ``.repro-cache``), ``--no-cache``, ``--force``.  ``run all`` runs every
@@ -371,6 +373,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from ..lint.cli import run as run_lint_cli
+    return run_lint_cli(args)
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     diff = diff_reports(load_report(args.old), load_report(args.new),
                         rtol=args.rtol)
@@ -500,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable metrics snapshot")
     p_stats.set_defaults(fn=_cmd_stats)
+
+    from ..lint.cli import build_parser as build_lint_parser
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically enforce the repo's determinism, mirror-parity, "
+             "and hot-path contracts")
+    build_lint_parser(p_lint)
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_diff = sub.add_parser(
         "diff", help="compare two sweep report JSON files")

@@ -60,7 +60,10 @@ class MegaSweepSpec:
              figure: str = "") -> "MegaSweepSpec":
         axes = {k: list(v) for k, v in axes.items()}
         return cls(name=name, title=title, runner=runner,
-                   axes_json=json.dumps(axes, separators=(",", ":")),
+                   # Axis order is load-bearing (it defines grid order and
+                   # the content key), so this dumps is deliberately
+                   # insertion-ordered, not sort_keys.
+                   axes_json=json.dumps(axes, separators=(",", ":")),  # repro-lint: ignore[determinism]
                    description=description, figure=figure or title)
 
     @property

@@ -63,7 +63,7 @@ def render_report(report: Dict[str, Any]) -> str:
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:
-    with open(path, "r", encoding="utf-8") as f:
+    with open(path, encoding="utf-8") as f:
         report = json.load(f)
     if not isinstance(report, dict) or report.get("schema") != REPORT_SCHEMA:
         raise ValueError(f"{path}: not a sweep report "

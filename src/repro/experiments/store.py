@@ -115,7 +115,7 @@ class ResultStore:
     def _read(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as f:
+            with open(path, encoding="utf-8") as f:
                 text = f.read()
             record = json.loads(text)
         except (OSError, ValueError):

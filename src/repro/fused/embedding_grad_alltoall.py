@@ -141,7 +141,6 @@ class FusedEmbeddingGradAllToAll:
     # -- task construction ---------------------------------------------------
     def _build_tasks(self, rank: int) -> List[WgTask]:
         cfg, world = self.cfg, self.world
-        local = cfg.local_batch(world)
         n_s = cfg.slices_per_stripe(world)
         ctx = self.comm.ctx(rank)
         spec = self.cluster.gpu(rank).spec

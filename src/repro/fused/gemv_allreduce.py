@@ -202,7 +202,6 @@ class FusedGemvAllReduce:
 
     def _make_store_hook(self, ctx, rank, owner, t0, t1, transfers, last):
         cfg = self.cfg
-        spec = self.cluster.gpu(rank).spec
         nbytes = float((t1 - t0) * cfg.itemsize)
 
         def hook(slot_ctx, task):

@@ -1,0 +1,33 @@
+"""Static invariant checker for the repro tree (``python -m repro lint``).
+
+AST-based, stdlib-only.  See :mod:`repro.lint.core` for the engine and
+the ``rules_*`` modules for the individual invariants.
+"""
+
+from .core import (
+    RULES,
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    collect_files,
+    detect_root,
+    lint_rule,
+    run_lint,
+)
+from .fingerprint import MANIFEST_RELPATH, Manifest, fingerprint
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "MANIFEST_RELPATH",
+    "Manifest",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "collect_files",
+    "detect_root",
+    "fingerprint",
+    "lint_rule",
+    "run_lint",
+]

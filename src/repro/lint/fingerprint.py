@@ -1,0 +1,128 @@
+"""Normalized-AST fingerprints and the mirror-parity manifest.
+
+A *fingerprint* is the SHA-256 of a function's AST dumped without
+positions and without docstrings: renaming a file, reflowing comments, or
+editing a docstring leaves it unchanged, while any change to the code —
+an operand swapped, a guard added, an operation reordered — changes it.
+That is exactly the granularity the analytic engine's scalar/batch
+mirrors need: the batch twins replicate the scalar expression *order*
+(results are bit-identical, not merely close), so any code edit to either
+side must be consciously re-blessed against the equivalence suite.
+
+The manifest (``src/repro/lint/mirror_manifest.json``) commits one
+fingerprint per mirrored function plus the explicit cross-module pairs
+that no naming convention can discover (``ops.predict_*`` and their
+``batch._*_core`` twins).  ``repro lint --update-manifest`` rewrites it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .core import LintContext, SourceFile
+
+__all__ = [
+    "MANIFEST_RELPATH",
+    "MANIFEST_SCHEMA",
+    "Manifest",
+    "fingerprint",
+    "function_index",
+    "resolve_ref",
+]
+
+MANIFEST_SCHEMA = "repro.lint.mirror-manifest/v1"
+MANIFEST_RELPATH = "src/repro/lint/mirror_manifest.json"
+
+
+def _strip_docstrings(node: ast.AST) -> ast.AST:
+    """Remove docstring statements from every body in a (copied) subtree."""
+    for sub in ast.walk(node):
+        body = getattr(sub, "body", None)
+        if (isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Module))
+                and body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            sub.body = body[1:] or [ast.Pass()]
+    return node
+
+
+def fingerprint(node: ast.AST) -> str:
+    """Position- and docstring-independent content hash of a function."""
+    # Round-trip through a fresh parse of the dumped source region is
+    # unnecessary: ast.dump without attributes already drops positions.
+    import copy
+
+    clean = _strip_docstrings(copy.deepcopy(node))
+    dump = ast.dump(clean, annotate_fields=True, include_attributes=False)
+    return hashlib.sha256(dump.encode("utf-8")).hexdigest()
+
+
+def function_index(src: SourceFile) -> Dict[str, ast.AST]:
+    """``qualname -> def node`` for every (possibly nested) function."""
+    index: Dict[str, ast.AST] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                index[qual] = child
+                visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(src.tree, "")
+    return index
+
+
+def resolve_ref(ctx: LintContext, ref: str
+                ) -> Tuple[Optional[SourceFile], Optional[ast.AST]]:
+    """Resolve ``"repro.analytic.comm:CommModel.wg_time"`` to its node."""
+    module, _, qualname = ref.partition(":")
+    relpath = "src/" + module.replace(".", "/") + ".py"
+    src = ctx.get_file(relpath)
+    if src is None:
+        return None, None
+    return src, function_index(src).get(qualname)
+
+
+@dataclass
+class Manifest:
+    """In-memory form of the committed mirror manifest."""
+
+    #: explicit ``[scalar_ref, batch_ref]`` pairs (cross-module mirrors
+    #: that the ``*_batch`` naming convention cannot discover)
+    extra_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    #: ``"module:qualname" -> fingerprint`` for every blessed function
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Manifest":
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"{path}: unknown manifest schema {data.get('schema')!r} "
+                f"(expected {MANIFEST_SCHEMA!r})")
+        return cls(
+            extra_pairs=[(s, b) for s, b in data.get("extra_pairs", [])],
+            fingerprints=dict(data.get("fingerprints", {})))
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = {
+            "schema": MANIFEST_SCHEMA,
+            "extra_pairs": [list(p) for p in sorted(self.extra_pairs)],
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")

@@ -1,0 +1,64 @@
+"""Import-alias resolution shared by the lint rules.
+
+The rules reason about *dotted origin names* ("what does this call
+actually invoke?"), so ``from time import perf_counter as pc`` followed by
+``pc()`` must resolve to ``time.perf_counter`` and ``import numpy as np``
+followed by ``np.random.default_rng()`` to ``numpy.random.default_rng``.
+Resolution is deliberately conservative: an attribute chain only resolves
+when its root name was bound by an import statement in the same module —
+``self.nic.latency`` never resolves, so object attributes can't collide
+with banned stdlib names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["import_aliases", "resolve_call"]
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map every import-bound local name to its dotted origin.
+
+    Relative imports resolve to a ``.``-prefixed origin (one dot per
+    level), e.g. ``from ..obs.metrics import get_metrics`` yields
+    ``{"get_metrics": "..obs.metrics.get_metrics"}`` — never confusable
+    with an absolute stdlib name.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{prefix}.{alias.name}" if prefix \
+                    else alias.name
+    return aliases
+
+
+def resolve_call(func: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted origin of a call target, or ``None`` if it doesn't resolve.
+
+    Walks ``a.b.c`` down to its root :class:`ast.Name`; resolves only when
+    that root is an import binding.
+    """
+    parts = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))

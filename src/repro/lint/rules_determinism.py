@@ -1,0 +1,151 @@
+"""Rule ``determinism``: nothing volatile may feed cache keys or reports.
+
+The orchestration layer's core guarantee is that serial, parallel, cached,
+and re-run sweeps are *byte-identical* — cache keys are content hashes and
+reports carry no volatile fields.  This rule statically bans the inputs
+that would silently break that guarantee anywhere in the production tree:
+
+* **wall clocks and entropy** — ``time.time``/``perf_counter``/
+  ``datetime.now``/``os.urandom``/``uuid``/stdlib ``random``: banned
+  everywhere except the two sanctioned host-timing modules
+  (``bench/perf.py``, ``obs/metrics.py``), which exist to measure wall
+  clock and never feed results back into records.
+* **unseeded NumPy RNGs** — ``np.random.default_rng()`` without a seed
+  and the legacy global-state ``np.random.*`` functions; workload data
+  must derive from the scenario's :meth:`ScenarioSpec.stable_seed`.
+* **unsorted serialization** — ``json.dumps``/``json.dump`` without
+  ``sort_keys=True`` (exempt when immediately re-parsed by
+  ``json.loads(...)``, a pure canonicalization round-trip).
+* **unordered iteration** — iterating a set literal/comprehension (or
+  materializing one via ``list``/``tuple``) whose order would leak into
+  output; wrap in ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, LintContext, lint_rule
+from .names import import_aliases, resolve_call
+
+__all__ = ["ALLOWED_WALL_CLOCK_MODULES"]
+
+#: Sanctioned host-timing sites: bench timers and the metrics registry's
+#: perf counters.  Wall clock measured here never enters cache records.
+ALLOWED_WALL_CLOCK_MODULES = frozenset({
+    "src/repro/bench/perf.py",
+    "src/repro/obs/metrics.py",
+})
+
+_BANNED_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+}
+
+#: Whole modules whose call surface is nondeterministic by design.
+_BANNED_MODULES = ("random.", "secrets.")
+
+#: Legacy numpy global-RNG functions (unseedable per call site).
+_NUMPY_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "shuffle", "permutation", "choice", "normal", "standard_normal",
+    "uniform", "bytes",
+})
+
+
+def _check_calls(src, aliases) -> Iterator[Finding]:
+    wall_clock_ok = src.relpath in ALLOWED_WALL_CLOCK_MODULES
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node.func, aliases)
+        if name is None:
+            continue
+        if name in _BANNED_CALLS or name.startswith(_BANNED_MODULES):
+            if wall_clock_ok:
+                continue
+            yield Finding(
+                src.relpath, node.lineno, "determinism",
+                f"call to {name}() is nondeterministic; cache keys and "
+                f"reports must be reproducible (sanctioned host-timing "
+                f"lives in bench/perf.py and obs/metrics.py)")
+        elif name == "numpy.random.default_rng" and not (node.args
+                                                         or node.keywords):
+            yield Finding(
+                src.relpath, node.lineno, "determinism",
+                "numpy.random.default_rng() without a seed draws OS "
+                "entropy; derive the seed from the scenario "
+                "(ScenarioSpec.stable_seed())")
+        elif (name.startswith("numpy.random.")
+              and name.rsplit(".", 1)[1] in _NUMPY_LEGACY):
+            yield Finding(
+                src.relpath, node.lineno, "determinism",
+                f"legacy global-state {name}() is unseeded at the call "
+                f"site; use a seeded numpy.random.default_rng(seed)")
+
+
+def _check_json(src, aliases) -> Iterator[Finding]:
+    parents = src.parents
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node.func, aliases)
+        if name not in ("json.dumps", "json.dump"):
+            continue
+        sort_keys = any(
+            kw.arg == "sort_keys"
+            and isinstance(kw.value, ast.Constant) and kw.value.value is True
+            for kw in node.keywords)
+        if sort_keys:
+            continue
+        # A dumps immediately re-parsed by json.loads is a
+        # canonicalization round-trip: key order never reaches bytes that
+        # anyone keeps.
+        parent = parents.get(node)
+        if (isinstance(parent, ast.Call)
+                and resolve_call(parent.func, aliases) == "json.loads"):
+            continue
+        yield Finding(
+            src.relpath, node.lineno, "determinism",
+            f"{name}(...) without sort_keys=True serializes dict insertion "
+            f"order; cached records and reports must be byte-stable")
+
+
+def _check_set_iteration(src) -> Iterator[Finding]:
+    def is_set(node: ast.AST) -> bool:
+        return isinstance(node, (ast.Set, ast.SetComp))
+
+    msg = ("iteration order of a set is undefined across runs; sort it "
+           "(sorted(...)) before it can influence output")
+    for node in ast.walk(src.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and is_set(node.iter):
+            yield Finding(src.relpath, node.iter.lineno, "determinism", msg)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                if is_set(gen.iter):
+                    yield Finding(src.relpath, gen.iter.lineno,
+                                  "determinism", msg)
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1 and is_set(node.args[0])):
+            yield Finding(src.relpath, node.lineno, "determinism", msg)
+
+
+@lint_rule(
+    "determinism",
+    "no wall clocks, entropy, unseeded RNGs, or unordered serialization "
+    "in modules that feed cache keys and reports")
+def check_determinism(ctx: LintContext) -> Iterator[Finding]:
+    for src in ctx.files_under():
+        aliases = import_aliases(src.tree)
+        yield from _check_calls(src, aliases)
+        yield from _check_json(src, aliases)
+        yield from _check_set_iteration(src)

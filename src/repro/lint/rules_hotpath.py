@@ -1,0 +1,101 @@
+"""Rule ``hot-path-guards``: observability stays free when disabled.
+
+PR 1 and PR 7 established the pattern that keeps the DES fast: trace and
+metrics calls in the simulator's hot loops sit behind an ``.enabled``
+test (``if self.trace.enabled:`` / ``if m.enabled:``), often hoisted into
+a local (``tracing = self.trace.enabled``) so the loop pays one truth
+test instead of an attribute chase plus a no-op call per event.  The
+fast-path equivalence suites prove *correctness* is unchanged either way;
+this rule protects the *performance* contract — a ``record``/``inc``
+landing unguarded inside the event loop or a slot loop costs a real call
+per iteration on the disabled path, exactly where the engine spends its
+time.
+
+Scope: the simulation core (``sim/``, minus ``sim/trace.py`` which
+*implements* the no-op guard), the kernel runtime (``kernels/``), and the
+collective schedules (``collectives/``).  A trace/metrics call inside a
+``for``/``while`` loop must have an ancestor ``if`` whose test references
+``.enabled`` — directly, or through a local name assigned from an
+``.enabled`` expression anywhere in the enclosing function (the hoisted
+form).  Calls outside loops are per-launch, O(1), and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .core import Finding, LintContext, lint_rule
+
+#: Methods of TraceRecorder / MetricsRegistry that record per event.
+_RECORDING_METHODS = frozenset({"inc", "gauge", "gauge_max", "record"})
+
+_SCOPE = ("src/repro/sim/", "src/repro/kernels/", "src/repro/collectives/")
+_EXCLUDE = ("src/repro/sim/trace.py",)
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _mentions_enabled(node: ast.AST, enabled_locals: Set[str]) -> bool:
+    """Does this expression reference ``.enabled`` or a hoisted alias?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in enabled_locals:
+            return True
+    return False
+
+
+def _enabled_locals(func: ast.AST) -> Set[str]:
+    """Names assigned (anywhere in ``func``) from an expression that
+    references ``.enabled`` — the hoisted-guard idiom."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _mentions_enabled(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@lint_rule(
+    "hot-path-guards",
+    "trace/metrics calls inside sim, kernel, and collective loops must "
+    "sit behind an .enabled guard")
+def check_hot_path_guards(ctx: LintContext) -> Iterator[Finding]:
+    for src in ctx.files_under(*_SCOPE, exclude=_EXCLUDE):
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RECORDING_METHODS):
+                continue
+            in_loop = False
+            func = None
+            # Walk outward to the innermost enclosing function; loops and
+            # guards beyond it execute on a different cadence and don't
+            # count.
+            for ancestor in src.ancestors(node):
+                if isinstance(ancestor, _FUNCS):
+                    func = ancestor
+                    break
+                if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                    in_loop = True
+            if not in_loop:
+                continue
+            enabled_locals = _enabled_locals(func) if func is not None \
+                else set()
+            is_guarded = False
+            for ancestor in src.ancestors(node):
+                if isinstance(ancestor, _FUNCS):
+                    break
+                if (isinstance(ancestor, ast.If)
+                        and _mentions_enabled(ancestor.test, enabled_locals)):
+                    is_guarded = True
+                    break
+            if not is_guarded:
+                yield Finding(
+                    src.relpath, node.lineno, "hot-path-guards",
+                    f".{node.func.attr}(...) inside a loop without an "
+                    f".enabled guard; hoist `if x.enabled:` (or a local "
+                    f"alias) around it — disabled-path hot loops must "
+                    f"cost one truth test, not a call per iteration")

@@ -1,0 +1,150 @@
+"""Rule ``mirror-parity``: scalar closed forms and batch twins move together.
+
+PR 6 vectorized the analytic engine by giving every scalar closed form a
+NumPy twin that replicates its expression *order*, so results are
+bit-identical (``tests/analytic/test_batch_equivalence.py`` asserts exact
+``==``).  That contract is brittle in exactly one way: someone edits one
+side and forgets the other, and nothing notices until the equivalence
+suite runs — after the wrong numbers may already be in ``.repro-cache/``.
+
+This rule catches the drift at diff time.  It discovers mirror pairs two
+ways:
+
+* **convention** — a function/method named ``X_batch`` in the analytic
+  surface (``analytic/``, ``hw/memory.py``, ``collectives/``) pairs with
+  the ``X`` defined in the same scope (class or module);
+* **manifest** — explicit cross-module pairs (``ops.predict_*`` and
+  their ``batch._*_core`` twins) listed under ``extra_pairs`` in
+  ``src/repro/lint/mirror_manifest.json``.
+
+Every function in a pair has a committed normalized-AST fingerprint
+(:mod:`repro.lint.fingerprint`).  Any mismatch — an edited scalar, an
+edited twin, a new unblessed pair, a stale manifest entry — fails the
+gate until ``repro lint --update-manifest`` re-blesses the tree, which a
+reviewer should only accept alongside a green batch-equivalence suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from .core import Finding, LintContext, lint_rule
+from .fingerprint import (
+    MANIFEST_RELPATH,
+    Manifest,
+    fingerprint,
+    function_index,
+    resolve_ref,
+)
+
+#: Modules scanned for the ``X``/``X_batch`` naming convention.
+_CONVENTION_SCOPE = (
+    "src/repro/analytic/",
+    "src/repro/hw/memory.py",
+    "src/repro/collectives/",
+)
+
+_BLESS_HINT = ("run `python -m repro lint --update-manifest` to re-bless "
+               "after verifying the batch-equivalence suite is green")
+
+
+def _discover_pairs(ctx: LintContext) -> List[Tuple[str, str, int]]:
+    """Convention pairs as ``(scalar_ref, batch_ref, batch_lineno)``."""
+    pairs = []
+    for src in ctx.files_under(*_CONVENTION_SCOPE):
+        index = function_index(src)
+        for qual in sorted(index):
+            if not qual.endswith("_batch"):
+                continue
+            node = index[qual]
+            scalar_qual = qual[: -len("_batch")]
+            pairs.append((f"{src.module}:{scalar_qual}",
+                          f"{src.module}:{qual}", node.lineno))
+    return pairs
+
+
+def _current_fingerprints(ctx: LintContext,
+                          refs: List[str]) -> Dict[str, Tuple[str, str, int]]:
+    """``ref -> (relpath, fingerprint, lineno)`` for refs that resolve."""
+    out = {}
+    for ref in refs:
+        src, node = resolve_ref(ctx, ref)
+        if src is None or node is None:
+            continue
+        out[ref] = (src.relpath, fingerprint(node), node.lineno)
+    return out
+
+
+@lint_rule(
+    "mirror-parity",
+    "scalar closed forms and their vectorized batch twins must match the "
+    "committed fingerprint manifest")
+def check_mirror_parity(ctx: LintContext) -> Iterator[Finding]:
+    manifest_path = ctx.root / MANIFEST_RELPATH
+    manifest = Manifest.load(manifest_path)
+
+    pairs = _discover_pairs(ctx)
+    tracked: List[str] = []
+    for scalar_ref, batch_ref, lineno in pairs:
+        src, node = resolve_ref(ctx, scalar_ref)
+        if node is None:
+            batch_src, _ = resolve_ref(ctx, batch_ref)
+            yield Finding(
+                batch_src.relpath if batch_src else MANIFEST_RELPATH,
+                lineno, "mirror-parity",
+                f"{batch_ref} has no scalar sibling "
+                f"{scalar_ref.partition(':')[2]} in the same scope; every "
+                f"*_batch twin mirrors a scalar closed form")
+            continue
+        tracked.extend([scalar_ref, batch_ref])
+    for scalar_ref, batch_ref in manifest.extra_pairs:
+        for ref in (scalar_ref, batch_ref):
+            src, node = resolve_ref(ctx, ref)
+            if node is None:
+                yield Finding(
+                    MANIFEST_RELPATH, 1, "mirror-parity",
+                    f"manifest extra_pair member {ref} does not resolve; "
+                    f"fix the pair or {_BLESS_HINT}")
+            else:
+                tracked.append(ref)
+
+    current = _current_fingerprints(ctx, tracked)
+
+    if ctx.update_manifest:
+        before = dict(manifest.fingerprints)
+        manifest.fingerprints = {ref: fp for ref, (_, fp, _) in
+                                 sorted(current.items())}
+        manifest.save(manifest_path)
+        added = sorted(set(manifest.fingerprints) - set(before))
+        changed = sorted(r for r in manifest.fingerprints
+                         if r in before
+                         and before[r] != manifest.fingerprints[r])
+        removed = sorted(set(before) - set(manifest.fingerprints))
+        for ref in added:
+            ctx.notes.append(f"mirror-parity: blessed new mirror {ref}")
+        for ref in changed:
+            ctx.notes.append(f"mirror-parity: re-blessed edited {ref}")
+        for ref in removed:
+            ctx.notes.append(f"mirror-parity: dropped stale {ref}")
+        if not (added or changed or removed):
+            ctx.notes.append("mirror-parity: manifest already current")
+        return
+
+    for ref in sorted(set(tracked)):
+        relpath, fp, lineno = current[ref]
+        blessed = manifest.fingerprints.get(ref)
+        if blessed is None:
+            yield Finding(
+                relpath, lineno, "mirror-parity",
+                f"{ref} participates in a scalar/batch mirror pair but "
+                f"has no blessed fingerprint; {_BLESS_HINT}")
+        elif blessed != fp:
+            yield Finding(
+                relpath, lineno, "mirror-parity",
+                f"{ref} changed since its mirror fingerprint was blessed "
+                f"(its scalar/batch twin may now drift); {_BLESS_HINT}")
+    for ref in sorted(set(manifest.fingerprints) - set(current)):
+        yield Finding(
+            MANIFEST_RELPATH, 1, "mirror-parity",
+            f"manifest lists {ref} but it no longer exists; {_BLESS_HINT}")

@@ -1,0 +1,128 @@
+"""Rule ``param-compat``: new scenario parameters default to absence.
+
+The store's central invariant since PR 3: a scenario that never mentions
+a parameter must keep exactly the content key it had before that
+parameter existed.  ``backend`` and ``algo`` both follow the pattern —
+the field defaults to ``None``, absence means legacy, and selecting the
+default *removes* the key from the params mapping — so every pre-existing
+cached record and golden report stays byte-identical.
+
+This rule enforces the pattern structurally on the spec and workload
+dataclasses that scenario params flow through: any field not listed in
+the committed baseline (``src/repro/lint/param_baseline.json``, the
+grandfathered seed-era fields) must carry a literal ``None`` default
+(``= None`` or ``field(default=None)``).  A ``None``-defaulted field is
+keyword-addressable at every call site and representable-by-absence in
+the canonical params JSON — the two properties that keep old keys
+stable.  Growing a new tracked config class requires adding its baseline
+entry, which is the moment to decide which fields are key-bearing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, Iterator, List, Optional
+
+from .core import Finding, LintContext, SourceFile, lint_rule
+
+__all__ = ["BASELINE_RELPATH"]
+
+BASELINE_RELPATH = "src/repro/lint/param_baseline.json"
+BASELINE_SCHEMA = "repro.lint.param-baseline/v1"
+
+#: Where tracked dataclasses live: the scenario spec itself plus the
+#: fused-operator workload configs whose fields become scenario params.
+_SPEC_FILE = "src/repro/experiments/specs.py"
+_CONFIG_SCOPE = "src/repro/fused/"
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _tracked_classes(ctx: LintContext) -> List[tuple]:
+    """``(src, ClassDef, key)`` for every tracked dataclass."""
+    out = []
+    spec = ctx.get_file(_SPEC_FILE)
+    if spec is not None:
+        for node in spec.tree.body:
+            if (isinstance(node, ast.ClassDef) and _is_dataclass(node)
+                    and node.name in ("ScenarioSpec", "SweepSpec")):
+                out.append((spec, node, f"{spec.module}:{node.name}"))
+    for src in ctx.files_under(_CONFIG_SCOPE):
+        for node in src.tree.body:
+            if (isinstance(node, ast.ClassDef) and _is_dataclass(node)
+                    and node.name.endswith("Config")):
+                out.append((src, node, f"{src.module}:{node.name}"))
+    return out
+
+
+def _default_is_none(value: Optional[ast.AST]) -> bool:
+    """Does this AnnAssign value denote a literal ``None`` default?"""
+    if value is None:
+        return False
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    if isinstance(value, ast.Call):
+        target = value.func
+        name = target.attr if isinstance(target, ast.Attribute) else \
+            getattr(target, "id", None)
+        if name == "field":
+            return any(kw.arg == "default"
+                       and isinstance(kw.value, ast.Constant)
+                       and kw.value.value is None
+                       for kw in value.keywords)
+    return False
+
+
+def _load_baseline(ctx: LintContext) -> Optional[Dict[str, List[str]]]:
+    path = ctx.root / BASELINE_RELPATH
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown baseline schema {data.get('schema')!r}")
+    return {k: list(v) for k, v in data.get("classes", {}).items()}
+
+
+@lint_rule(
+    "param-compat",
+    "fields added to ScenarioSpec / fused op configs must default to "
+    "None so legacy cache keys stay byte-identical")
+def check_param_compat(ctx: LintContext) -> Iterator[Finding]:
+    baseline = _load_baseline(ctx)
+    if baseline is None:
+        # A tree without the baseline (e.g. a test fixture that exercises
+        # other rules) grandfathers nothing.
+        baseline = {}
+    src: SourceFile
+    for src, node, key in _tracked_classes(ctx):
+        if key not in baseline:
+            yield Finding(
+                src.relpath, node.lineno, "param-compat",
+                f"dataclass {key} carries scenario parameters but has no "
+                f"entry in {BASELINE_RELPATH}; list its key-bearing "
+                f"fields there (new fields still must default to None)")
+            continue
+        grandfathered = set(baseline[key])
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            name = stmt.target.id
+            if name in grandfathered or _default_is_none(stmt.value):
+                continue
+            yield Finding(
+                src.relpath, stmt.lineno, "param-compat",
+                f"{key}.{name} is a new field without a None default; "
+                f"scenario parameters follow absence-means-legacy (the "
+                f"backend/algo pattern) so pre-existing cache keys and "
+                f"reports never change")

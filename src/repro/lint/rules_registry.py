@@ -1,0 +1,140 @@
+"""Rules ``registry-integrity`` and ``layering``.
+
+``registry-integrity`` — every runner/assembler *name* used when building
+scenarios and sweeps must correspond to a ``@runner(...)``/
+``@assembler(...)`` registration somewhere in the tree.  The registries
+resolve lazily by string (worker processes re-import and re-resolve), so
+a typo'd name survives import, passes ``list``, and only explodes when
+the scenario finally executes — or worse, inside a spawn worker.  This
+check cross-references the string literals statically.
+
+``layering`` — the simulation core must stay importable without the
+observability package: ``sim/`` modules may not import ``repro.obs`` at
+module scope (PR 7 threaded metrics into the engine through a
+lazily-bound ``_metrics()`` indirection for exactly this reason; obs sits
+*above* sim in the layering and imports it back).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from .core import Finding, LintContext, lint_rule
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _literal(node: ast.AST) -> str:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return ""
+
+
+def _registrations(ctx: LintContext) -> Dict[str, set]:
+    """Names registered via ``@runner("x")`` / ``@assembler("x")``."""
+    names: Dict[str, set] = {"runner": set(), "assembler": set()}
+    for src in ctx.files_under():
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for deco in node.decorator_list:
+                if not (isinstance(deco, ast.Call)
+                        and isinstance(deco.func, ast.Name)
+                        and deco.func.id in names and deco.args):
+                    continue
+                name = _literal(deco.args[0])
+                if name:
+                    names[deco.func.id].add(name)
+    return names
+
+
+def _usages(ctx: LintContext) -> List[Tuple[str, str, str, int]]:
+    """``(kind, name, relpath, lineno)`` for every literal runner or
+    assembler reference at a scenario/sweep construction site."""
+    out = []
+    for src in ctx.files_under():
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = func.attr if isinstance(func, ast.Attribute) else \
+                getattr(func, "id", "")
+            owner = ""
+            if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                              ast.Name):
+                owner = func.value.id
+            # scenario("runner", ...) / ScenarioSpec.make("runner", ...)
+            if (callee == "scenario"
+                    or (callee == "make" and owner == "ScenarioSpec")):
+                if node.args:
+                    name = _literal(node.args[0])
+                    if name:
+                        out.append(("runner", name, src.relpath,
+                                    node.lineno))
+            # runner= / assembler= keywords on any constructor-ish call
+            # (ScenarioSpec(...), SweepSpec.make(...), MegaSweepSpec.make).
+            for kw in node.keywords:
+                if kw.arg in ("runner", "assembler"):
+                    name = _literal(kw.value)
+                    if name:
+                        out.append((kw.arg, name, src.relpath, kw.value.lineno))
+            # MegaSweepSpec.make(name, title, runner, ...) positional form.
+            if (callee == "make" and owner == "MegaSweepSpec"
+                    and len(node.args) >= 3):
+                name = _literal(node.args[2])
+                if name:
+                    out.append(("runner", name, src.relpath,
+                                node.args[2].lineno))
+    return out
+
+
+@lint_rule(
+    "registry-integrity",
+    "every runner/assembler name used by a sweep must resolve to a "
+    "registration")
+def check_registry_integrity(ctx: LintContext) -> Iterator[Finding]:
+    registered = _registrations(ctx)
+    for kind, name, relpath, lineno in _usages(ctx):
+        if name not in registered[kind]:
+            known = ", ".join(sorted(registered[kind])) or "(none)"
+            yield Finding(
+                relpath, lineno, "registry-integrity",
+                f"{kind} {name!r} is not registered anywhere "
+                f"(@{kind}(...) names: {known}); the lookup would only "
+                f"fail at execution time, possibly inside a spawn worker")
+
+
+@lint_rule(
+    "layering",
+    "sim/ must not import repro.obs at module scope (the engine binds "
+    "metrics lazily)")
+def check_layering(ctx: LintContext) -> Iterator[Finding]:
+    for src in ctx.files_under("src/repro/sim/"):
+        for node in ast.walk(src.tree):
+            target = None
+            if isinstance(node, ast.ImportFrom):
+                # Resolve the relative form against this module's package.
+                package = src.module.rsplit(".", 1)[0]  # repro.sim
+                if node.level:
+                    base = package.split(".")
+                    if node.level > 1:
+                        base = base[: -(node.level - 1)]
+                    target = ".".join(base + ([node.module]
+                                              if node.module else []))
+                else:
+                    target = node.module or ""
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.obs"):
+                        target = alias.name
+                        break
+            if not target or not target.startswith("repro.obs"):
+                continue
+            if any(isinstance(a, _FUNCS) for a in src.ancestors(node)):
+                continue        # lazy, inside-function import: the pattern
+            yield Finding(
+                src.relpath, node.lineno, "layering",
+                f"module-scope import of {target} from the simulation "
+                f"core; obs sits above sim — bind it lazily inside the "
+                f"function that needs it (see sim/engine.py:_metrics)")

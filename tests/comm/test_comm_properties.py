@@ -131,7 +131,8 @@ def test_fence_orders_only_target_destination(sizes, data):
     def proc(sim):
         ctx = comm.ctx(0)
         to_d = [ctx.put_bytes(1, float(s)) for s in sizes[:split]]
-        to_other = [ctx.put_bytes(2, float(s)) for s in sizes[split:]]
+        for s in sizes[split:]:
+            ctx.put_bytes(2, float(s))
         yield ctx.fence(1)
         d_done = all(ev.processed for ev in to_d)
         return d_done

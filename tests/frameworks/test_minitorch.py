@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.comm import Communicator
+from repro.comm.symheap import HeapError
 from repro.frameworks.minitorch import (
     Device,
     OPS,
@@ -101,7 +102,7 @@ def test_symmetric_free():
     comm = make_comm()
     st = to_symmetric(np.zeros(4, np.float32), comm)
     st.free()
-    with pytest.raises(Exception):
+    with pytest.raises(HeapError):
         st.numpy(0)
 
 

@@ -58,8 +58,8 @@ def test_every_instance_emits_exactly_one_put():
 
 @jit
 def double_dot(a, b):
-    x = tl.dot(a, b)
-    y = tl.dot(a, b)
+    tl.dot(a, b)
+    tl.dot(a, b)
     return None
 
 

@@ -105,7 +105,7 @@ def test_flags_gate_consumption():
     trace = TraceRecorder()
     h = OpHarness(num_nodes=1, gpus_per_node=4, trace=trace)
     op = FusedGemvAllReduce(h, cfg)
-    res = h.run(op)
+    h.run(op)
     # All four final flags are set on every rank by completion.
     for r in range(4):
         assert op.final_rdy.all_set(r) or all(

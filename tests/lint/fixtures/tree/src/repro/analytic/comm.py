@@ -1,0 +1,13 @@
+"""Fixture: mirror-parity convention pairs (unblessed) plus an orphan."""
+
+
+def put_time(size, bw):
+    return size / bw
+
+
+def put_time_batch(size, bw):
+    return size / bw
+
+
+def orphan_batch(x):
+    return x

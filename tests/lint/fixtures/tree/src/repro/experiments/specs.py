@@ -1,0 +1,12 @@
+"""Fixture: param-compat — one grandfathered, one new-good, one new-bad."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    runner: str
+    new_knob: Optional[str] = None
+    tuned: int = 3
+    blessed: Optional[int] = field(default=None)

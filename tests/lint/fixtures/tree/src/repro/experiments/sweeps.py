@@ -1,0 +1,16 @@
+"""Fixture: registry-integrity — one resolving name, two typos."""
+
+from .registry import runner
+from .specs import ScenarioSpec, SweepSpec
+
+
+@runner("good_runner")
+def run_good(params):
+    return {}
+
+
+SWEEP = SweepSpec.make(
+    "fixture", "Fixture",
+    [ScenarioSpec.make("good_runner"),
+     ScenarioSpec.make("missing_runner")],
+    assembler="missing_assembler")

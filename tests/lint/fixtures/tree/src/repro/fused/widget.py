@@ -1,0 +1,9 @@
+"""Fixture: a fused op config class with no param-baseline entry."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WidgetConfig:
+    width: int
+    depth: int = 2

@@ -1,0 +1,30 @@
+"""Fixture: hot-path-guards and layering violations in a fake engine."""
+
+from repro.obs.metrics import get_metrics
+from ..obs import capture
+
+
+class Engine:
+    def __init__(self, trace, metrics):
+        self.trace = trace
+        self.metrics = metrics
+
+    def run(self, events):
+        m = self.metrics
+        for ev in events:
+            m.inc("events")
+            if m.enabled:
+                m.gauge("queue", ev)
+        m.inc("runs")
+        return get_metrics, capture
+
+    def run_hoisted(self, events):
+        tracing = self.trace.enabled
+        while events:
+            ev = events.pop()
+            if tracing:
+                self.trace.record(ev)
+
+    def lazy_ok(self):
+        from repro.obs.metrics import get_metrics as gm
+        return gm()

@@ -1,0 +1,71 @@
+"""Fixture: one function per determinism violation class, plus clean twins."""
+
+import json
+import random
+import time
+from time import perf_counter as pc
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_suppressed():
+    return time.time()  # repro-lint: ignore[determinism]
+
+
+def stamp_bare_suppressed():
+    return time.time()  # repro-lint: ignore
+
+
+def aliased():
+    return pc()
+
+
+def draw():
+    return random.random()
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def legacy():
+    return np.random.rand(4)
+
+
+def seeded_ok(seed):
+    return np.random.default_rng(seed)
+
+
+def dump(payload):
+    return json.dumps(payload)
+
+
+def canonical_ok(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def roundtrip_ok(payload):
+    return json.loads(json.dumps(payload))
+
+
+def comprehension_over_set():
+    return [x for x in {3, 1, 2}]
+
+
+def loop_over_set():
+    out = []
+    for x in {3, 1, 2}:
+        out.append(x)
+    return out
+
+
+def materialize_set():
+    return list({3, 1, 2})
+
+
+def sorted_ok():
+    return sorted({3, 1, 2})

@@ -1,0 +1,128 @@
+"""Mirror-parity manifest lifecycle: bless, drift, stale, re-bless.
+
+Includes the acceptance scenario: a copy of the *real* tree with a
+single-line edit to one batch twin must fail the gate.
+"""
+
+import ast
+import shutil
+from pathlib import Path
+
+from repro.lint import MANIFEST_RELPATH, Manifest, run_lint
+from repro.lint.core import detect_root
+
+SCALAR = "def put_time(size, bw):\n    return size / bw\n"
+BATCH = "\n\ndef put_time_batch(size, bw):\n    return size / bw\n"
+
+
+def _mini_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "analytic"
+    pkg.mkdir(parents=True)
+    (pkg / "comm.py").write_text(SCALAR + BATCH, encoding="utf-8")
+    return tmp_path
+
+
+def _mirror(root, **kw):
+    found, ctx = run_lint(root=root, rules=["mirror-parity"], **kw)
+    return found, ctx
+
+
+def test_bless_then_clean_then_drift_then_rebless(tmp_path):
+    root = _mini_tree(tmp_path)
+    comm = root / "src/repro/analytic/comm.py"
+
+    # Unblessed pair: both sides flagged.
+    found, _ = _mirror(root)
+    assert len(found) == 2
+    assert all("no blessed fingerprint" in f.message for f in found)
+
+    # Bless: manifest is created, notes describe it, gate goes green.
+    found, ctx = _mirror(root, update_manifest=True)
+    assert found == []
+    assert sum("blessed new mirror" in n for n in ctx.notes) == 2
+    manifest = Manifest.load(root / MANIFEST_RELPATH)
+    assert set(manifest.fingerprints) == {
+        "repro.analytic.comm:put_time", "repro.analytic.comm:put_time_batch"}
+    found, _ = _mirror(root)
+    assert found == []
+
+    # Re-blessing an unchanged tree is a no-op.
+    _, ctx = _mirror(root, update_manifest=True)
+    assert any("already current" in n for n in ctx.notes)
+
+    # Drift: edit only the batch twin -> exactly that side is flagged.
+    comm.write_text(SCALAR + BATCH.replace("size / bw", "size / bw + 0.0"),
+                    encoding="utf-8")
+    found, _ = _mirror(root)
+    assert len(found) == 1
+    assert "repro.analytic.comm:put_time_batch" in found[0].message
+    assert "changed since" in found[0].message
+    assert found[0].file == "src/repro/analytic/comm.py"
+
+    # Re-bless the edit; green again.
+    _, ctx = _mirror(root, update_manifest=True)
+    assert any("re-blessed edited repro.analytic.comm:put_time_batch" in n
+               for n in ctx.notes)
+    found, _ = _mirror(root)
+    assert found == []
+
+
+def test_stale_manifest_entries_flagged_and_dropped(tmp_path):
+    root = _mini_tree(tmp_path)
+    _mirror(root, update_manifest=True)
+
+    (root / "src/repro/analytic/comm.py").write_text("", encoding="utf-8")
+    found, _ = _mirror(root)
+    assert len(found) == 2
+    assert all("no longer exists" in f.message for f in found)
+    assert all(f.file == MANIFEST_RELPATH for f in found)
+
+    _, ctx = _mirror(root, update_manifest=True)
+    assert sum("dropped stale" in n for n in ctx.notes) == 2
+    found, _ = _mirror(root)
+    assert found == []
+
+
+def test_docstring_and_comment_edits_do_not_drift(tmp_path):
+    root = _mini_tree(tmp_path)
+    _mirror(root, update_manifest=True)
+    reworded = ('def put_time(size, bw):\n'
+                '    """Reworded docstring, new comment."""\n'
+                '    # a comment\n'
+                '    return size / bw\n')
+    (root / "src/repro/analytic/comm.py").write_text(
+        reworded + BATCH, encoding="utf-8")
+    found, _ = _mirror(root)
+    assert found == []
+
+
+def test_real_tree_single_line_batch_twin_edit_fails_gate(tmp_path):
+    """Acceptance: copy the real tree, touch one line of a batch twin."""
+    real = detect_root()
+    shutil.copytree(real / "src", tmp_path / "src")
+
+    batch = tmp_path / "src/repro/analytic/batch.py"
+    text = batch.read_text(encoding="utf-8")
+    fn = next(node for node in ast.parse(text).body
+              if isinstance(node, ast.FunctionDef)
+              and node.name == "_gemv_core")
+    lines = text.splitlines()
+    indent = " " * fn.body[0].col_offset
+    lines.insert(fn.body[0].lineno - 1, f"{indent}drift_probe = 1.0")
+    batch.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    found, _ = _mirror(tmp_path)
+    assert len(found) == 1
+    assert "repro.analytic.batch:_gemv_core" in found[0].message
+    assert found[0].file == "src/repro/analytic/batch.py"
+
+
+def test_unresolvable_extra_pair_flagged(tmp_path):
+    root = _mini_tree(tmp_path)
+    manifest = Manifest(extra_pairs=[("repro.analytic.comm:put_time",
+                                      "repro.analytic.nowhere:gone")])
+    manifest.save(root / MANIFEST_RELPATH)
+    found, _ = _mirror(root)
+    assert any("does not resolve" in f.message
+               and "repro.analytic.nowhere:gone" in f.message
+               for f in found)
